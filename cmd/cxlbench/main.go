@@ -1,0 +1,76 @@
+// Command cxlbench regenerates the paper's device-characterization
+// experiments (§V): Fig. 3 (D2H true vs emulated), Fig. 4 (D2D bias
+// modes), Fig. 5 (H2D Type-2 vs Type-3), Fig. 6 (CXL vs PCIe transfer
+// sweep), Table III (coherence states) and the §V-A write-queue sweep.
+//
+// Usage:
+//
+//	cxlbench [-reps N] [fig3|fig4|fig5|fig6|table3|wqsweep|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	cxl2sim "repro"
+)
+
+func main() {
+	reps := flag.Int("reps", 1000, "repetitions per measurement (the paper uses >= 1000)")
+	dump := flag.String("dump-params", "", "write the calibrated timing parameters as JSON to this path and exit")
+	csv := flag.Bool("csv", false, "emit fig6 as CSV (plot-friendly) instead of a table")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cxlbench [-reps N] [fig3|fig4|fig5|fig6|table3|wqsweep|all]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *dump != "" {
+		if err := cxl2sim.SaveParams(cxl2sim.DefaultParams(), *dump); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *dump)
+		return
+	}
+
+	which := "all"
+	if flag.NArg() > 0 {
+		which = flag.Arg(0)
+	}
+	out := os.Stdout
+
+	run := map[string]func(){
+		"fig3": func() { cxl2sim.PrintFig3(out, cxl2sim.RunFig3(*reps)) },
+		"fig4": func() { cxl2sim.PrintFig4(out, cxl2sim.RunFig4(*reps)) },
+		"fig5": func() { cxl2sim.PrintFig5(out, cxl2sim.RunFig5(*reps)) },
+		"fig6": func() {
+			rows := cxl2sim.RunFig6()
+			if *csv {
+				if err := cxl2sim.WriteFig6CSV(out, rows); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				return
+			}
+			cxl2sim.PrintFig6(out, rows)
+		},
+		"table3":  func() { cxl2sim.PrintTable3(out, cxl2sim.RunTable3()) },
+		"wqsweep": func() { cxl2sim.PrintWriteQueueSweep(out, cxl2sim.RunWriteQueueSweep(nil)) },
+	}
+	order := []string{"table3", "fig3", "fig4", "fig5", "fig6", "wqsweep"}
+
+	if which == "all" {
+		for _, name := range order {
+			run[name]()
+		}
+		return
+	}
+	fn, ok := run[which]
+	if !ok {
+		flag.Usage()
+		os.Exit(2)
+	}
+	fn()
+}

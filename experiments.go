@@ -1,0 +1,121 @@
+package cxl2sim
+
+import (
+	"io"
+
+	"repro/internal/experiments"
+	"repro/internal/ycsb"
+)
+
+// The experiment drivers regenerate the paper's evaluation. Each Run
+// function returns structured rows; each Print function renders them like
+// the paper's figure or table.
+
+// Fig3Row is one bar of Fig. 3 (D2H latency/bandwidth, true vs emulated).
+type Fig3Row = experiments.Fig3Row
+
+// RunFig3 measures true and UPI-emulated D2H accesses. reps <= 0 uses the
+// paper's 1000 repetitions.
+func RunFig3(reps int) []Fig3Row {
+	cfg := experiments.Fig3Config{}
+	if reps > 0 {
+		cfg.Reps = reps
+	}
+	return experiments.Fig3(cfg)
+}
+
+// PrintFig3 renders Fig. 3 rows.
+func PrintFig3(w io.Writer, rows []Fig3Row) { experiments.PrintFig3(w, rows) }
+
+// Fig4Row is one bar of Fig. 4 (D2D bias modes).
+type Fig4Row = experiments.Fig4Row
+
+// RunFig4 measures D2D accesses in host- and device-bias modes.
+func RunFig4(reps int) []Fig4Row {
+	cfg := experiments.Fig4Config{}
+	if reps > 0 {
+		cfg.Reps = reps
+	}
+	return experiments.Fig4(cfg)
+}
+
+// PrintFig4 renders Fig. 4 rows.
+func PrintFig4(w io.Writer, rows []Fig4Row) { experiments.PrintFig4(w, rows) }
+
+// Fig5Row is one bar of Fig. 5 (H2D, Type-2 vs Type-3, DMC states, NC-P).
+type Fig5Row = experiments.Fig5Row
+
+// RunFig5 measures H2D accesses across device personalities and DMC states.
+func RunFig5(reps int) []Fig5Row {
+	cfg := experiments.Fig5Config{}
+	if reps > 0 {
+		cfg.Reps = reps
+	}
+	return experiments.Fig5(cfg)
+}
+
+// PrintFig5 renders Fig. 5 rows.
+func PrintFig5(w io.Writer, rows []Fig5Row) { experiments.PrintFig5(w, rows) }
+
+// Fig6Row is one point of Fig. 6 (transfer-size sweep, CXL vs PCIe).
+type Fig6Row = experiments.Fig6Row
+
+// RunFig6 sweeps transfer sizes across every mechanism in both directions.
+func RunFig6() []Fig6Row { return experiments.Fig6() }
+
+// PrintFig6 renders Fig. 6 rows.
+func PrintFig6(w io.Writer, rows []Fig6Row) { experiments.PrintFig6(w, rows) }
+
+// WriteFig6CSV renders Fig. 6 rows as CSV for external plotting.
+func WriteFig6CSV(w io.Writer, rows []Fig6Row) error { return experiments.WriteFig6CSV(w, rows) }
+
+// Table3Row is one row of Table III (coherence states after D2H).
+type Table3Row = experiments.Table3Row
+
+// RunTable3 drives every D2H type against every initial placement and
+// reads the resulting HMC/LLC states.
+func RunTable3() []Table3Row { return experiments.Table3() }
+
+// PrintTable3 renders Table III.
+func PrintTable3(w io.Writer, rows []Table3Row) { experiments.PrintTable3(w, rows) }
+
+// Table4Row is one row of Table IV (offload latency breakdown).
+type Table4Row = experiments.Table4Row
+
+// RunTable4 measures the zswap compression-offload breakdown per backend.
+func RunTable4() []Table4Row { return experiments.Table4() }
+
+// PrintTable4 renders Table IV.
+func PrintTable4(w io.Writer, rows []Table4Row) { experiments.PrintTable4(w, rows) }
+
+// Fig8Row is one bar of Fig. 8 (Redis p99 under kernel-feature variants).
+type Fig8Row = experiments.Fig8Row
+
+// Fig8Config tunes the co-simulation (zero values take calibrated
+// defaults: 300 ms horizon, 60k ops/s).
+type Fig8Config = experiments.Fig8Config
+
+// RunFig8 runs one feature ("zswap" or "ksm") across the baseline and all
+// four backends for the given workloads (nil = all of A–D).
+func RunFig8(feature string, workloads []Workload, cfg Fig8Config) []Fig8Row {
+	return experiments.Fig8(feature, workloads, cfg)
+}
+
+// PrintFig8 renders Fig. 8 rows.
+func PrintFig8(w io.Writer, rows []Fig8Row) { experiments.PrintFig8(w, rows) }
+
+// WriteQueueRow is one point of the §V-A write-queue sweep.
+type WriteQueueRow = experiments.WriteQueueRow
+
+// RunWriteQueueSweep measures write bandwidth against burst length,
+// exposing the write-queue knee and the CO-wr/st crossover. nil uses the
+// default burst ladder.
+func RunWriteQueueSweep(ns []int) []WriteQueueRow { return experiments.WriteQueueSweep(ns) }
+
+// PrintWriteQueueSweep renders the sweep.
+func PrintWriteQueueSweep(w io.Writer, rows []WriteQueueRow) {
+	experiments.PrintWriteQueueSweep(w, rows)
+}
+
+// Workloads lists the YCSB core workloads A–D.
+func Workloads() []Workload { return ycsb.Workloads() }

@@ -1,0 +1,322 @@
+// Package cache implements the set-associative coherence caches of the
+// model: the host L1/L2/LLC levels, the device's host-memory cache (HMC,
+// 4-way 128 KB) and device-memory cache (DMC, direct-mapped 32 KB).
+//
+// A Cache tracks per-line MESI(+Owned) state and optionally the line's 64
+// bytes of data, with true LRU replacement within a set. Coherence *policy*
+// (who may invalidate whom, Table III of the paper) lives in the coherence
+// and device packages; this package provides the mechanics.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/phys"
+)
+
+// State is a cache-line coherence state. The model uses MESI for host
+// caches and HMC; DMC additionally uses Owned to reproduce the §V-C H2D
+// experiments (lines "in owned" vs "in shared" vs "modified").
+type State uint8
+
+// Coherence states.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+	Owned
+)
+
+// String returns the one-letter conventional name.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	case Owned:
+		return "O"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Line is one cache line's bookkeeping. Data is nil in timing-only mode.
+type Line struct {
+	Tag   phys.Addr // line-aligned address
+	State State
+	Data  []byte // nil or LineSize bytes
+	// lru is the set-local recency counter (higher = more recent).
+	lru uint64
+}
+
+// Valid reports whether the line holds a translation (state != I).
+func (l *Line) Valid() bool { return l != nil && l.State != Invalid }
+
+// Stats counts cache events for reporting.
+type Stats struct {
+	Hits, Misses, Fills, Evictions, Writebacks, Invalidations uint64
+}
+
+// Victim describes a line evicted by Fill: its address, state and data at
+// eviction time. Callers write back Modified/Owned victims.
+type Victim struct {
+	Addr  phys.Addr
+	State State
+	Data  []byte
+}
+
+// Dirty reports whether the victim must be written back.
+func (v Victim) Dirty() bool { return v.State == Modified || v.State == Owned }
+
+// Cache is a set-associative cache with true-LRU replacement.
+type Cache struct {
+	name    string
+	ways    int
+	sets    int
+	setMask phys.Addr
+	lines   []Line // sets*ways, set-major
+	tick    uint64
+	stats   Stats
+}
+
+// New creates a cache of the given total size in bytes and associativity.
+// Size must be a multiple of ways*LineSize and the set count must be a power
+// of two (true of every cache in the paper's Table II and §IV).
+func New(name string, sizeBytes, ways int) (*Cache, error) {
+	if sizeBytes <= 0 || ways <= 0 {
+		return nil, fmt.Errorf("cache %s: size %d, ways %d", name, sizeBytes, ways)
+	}
+	linesTotal := sizeBytes / phys.LineSize
+	if linesTotal*phys.LineSize != sizeBytes || linesTotal%ways != 0 {
+		return nil, fmt.Errorf("cache %s: size %d not divisible into %d-way line sets", name, sizeBytes, ways)
+	}
+	sets := linesTotal / ways
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache %s: set count %d not a power of two", name, sets)
+	}
+	return &Cache{
+		name:    name,
+		ways:    ways,
+		sets:    sets,
+		setMask: phys.Addr(sets - 1),
+		lines:   make([]Line, sets*ways),
+	}, nil
+}
+
+// MustNew is New for static configurations; it panics on error.
+func MustNew(name string, sizeBytes, ways int) *Cache {
+	c, err := New(name, sizeBytes, ways)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name returns the cache's diagnostic name.
+func (c *Cache) Name() string { return c.name }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// SizeBytes returns the capacity.
+func (c *Cache) SizeBytes() int { return c.sets * c.ways * phys.LineSize }
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the event counters.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) set(addr phys.Addr) []Line {
+	idx := (phys.LineAddr(addr) / phys.LineSize) & c.setMask
+	return c.lines[int(idx)*c.ways : (int(idx)+1)*c.ways]
+}
+
+// Lookup finds the line holding addr, updating recency and hit/miss
+// statistics. It returns nil on miss.
+func (c *Cache) Lookup(addr phys.Addr) *Line {
+	tag := phys.LineAddr(addr)
+	s := c.set(addr)
+	for i := range s {
+		if s[i].State != Invalid && s[i].Tag == tag {
+			c.tick++
+			s[i].lru = c.tick
+			c.stats.Hits++
+			return &s[i]
+		}
+	}
+	c.stats.Misses++
+	return nil
+}
+
+// Peek finds the line holding addr without touching recency or statistics —
+// for cross-validation in tests and state dumps (the paper's methodology
+// cross-validates presence/absence of lines in HMC, DMC and LLC, §V).
+func (c *Cache) Peek(addr phys.Addr) *Line {
+	tag := phys.LineAddr(addr)
+	s := c.set(addr)
+	for i := range s {
+		if s[i].State != Invalid && s[i].Tag == tag {
+			return &s[i]
+		}
+	}
+	return nil
+}
+
+// Fill inserts addr with the given state (and optional data, which is
+// copied), evicting the LRU victim if the set is full. It returns the victim
+// when one was displaced. Filling a line that is already present updates its
+// state and data in place.
+func (c *Cache) Fill(addr phys.Addr, st State, data []byte) (Victim, bool) {
+	if st == Invalid {
+		panic("cache: Fill with Invalid state")
+	}
+	tag := phys.LineAddr(addr)
+	s := c.set(addr)
+	c.tick++
+	// Already present: update in place.
+	for i := range s {
+		if s[i].State != Invalid && s[i].Tag == tag {
+			s[i].State = st
+			s[i].lru = c.tick
+			setData(&s[i], data)
+			return Victim{}, false
+		}
+	}
+	c.stats.Fills++
+	// Free way?
+	for i := range s {
+		if s[i].State == Invalid {
+			s[i] = Line{Tag: tag, State: st, lru: c.tick}
+			setData(&s[i], data)
+			return Victim{}, false
+		}
+	}
+	// Evict LRU.
+	victim := 0
+	for i := 1; i < len(s); i++ {
+		if s[i].lru < s[victim].lru {
+			victim = i
+		}
+	}
+	v := Victim{Addr: s[victim].Tag, State: s[victim].State, Data: s[victim].Data}
+	c.stats.Evictions++
+	if v.Dirty() {
+		c.stats.Writebacks++
+	}
+	s[victim] = Line{Tag: tag, State: st, lru: c.tick}
+	setData(&s[victim], data)
+	return v, true
+}
+
+func setData(l *Line, data []byte) {
+	if data == nil {
+		return
+	}
+	if len(data) != phys.LineSize {
+		panic(fmt.Sprintf("cache: fill data %d bytes, want %d", len(data), phys.LineSize))
+	}
+	if l.Data == nil {
+		l.Data = make([]byte, phys.LineSize)
+	}
+	copy(l.Data, data)
+}
+
+// Invalidate drops addr from the cache, returning its pre-invalidation state
+// and data (nil data in timing-only mode). The returned bool reports whether
+// the line was present.
+func (c *Cache) Invalidate(addr phys.Addr) (State, []byte, bool) {
+	tag := phys.LineAddr(addr)
+	s := c.set(addr)
+	for i := range s {
+		if s[i].State != Invalid && s[i].Tag == tag {
+			st, data := s[i].State, s[i].Data
+			s[i] = Line{}
+			c.stats.Invalidations++
+			return st, data, true
+		}
+	}
+	return Invalid, nil, false
+}
+
+// SetState changes the state of a resident line; it reports whether the line
+// was present.
+func (c *Cache) SetState(addr phys.Addr, st State) bool {
+	l := c.Peek(addr)
+	if l == nil {
+		return false
+	}
+	if st == Invalid {
+		_, _, ok := c.Invalidate(addr)
+		return ok
+	}
+	l.State = st
+	return true
+}
+
+// VisitValid calls fn for every valid line. fn must not mutate the cache.
+func (c *Cache) VisitValid(fn func(l *Line)) {
+	for i := range c.lines {
+		if c.lines[i].State != Invalid {
+			fn(&c.lines[i])
+		}
+	}
+}
+
+// FlushAll invalidates every line, calling writeback for each dirty victim
+// (Modified or Owned) before dropping it. writeback may be nil.
+func (c *Cache) FlushAll(writeback func(v Victim)) {
+	for i := range c.lines {
+		l := &c.lines[i]
+		if l.State == Invalid {
+			continue
+		}
+		if writeback != nil && (l.State == Modified || l.State == Owned) {
+			c.stats.Writebacks++
+			writeback(Victim{Addr: l.Tag, State: l.State, Data: l.Data})
+		}
+		c.stats.Invalidations++
+		*l = Line{}
+	}
+}
+
+// FlushRange invalidates all lines inside r (used when host software
+// prepares a region for device-bias mode, §IV-B), writing back dirty lines
+// through writeback (may be nil).
+func (c *Cache) FlushRange(r phys.Range, writeback func(v Victim)) int {
+	flushed := 0
+	for i := range c.lines {
+		l := &c.lines[i]
+		if l.State == Invalid || !r.Contains(l.Tag) {
+			continue
+		}
+		if writeback != nil && (l.State == Modified || l.State == Owned) {
+			c.stats.Writebacks++
+			writeback(Victim{Addr: l.Tag, State: l.State, Data: l.Data})
+		}
+		c.stats.Invalidations++
+		*l = Line{}
+		flushed++
+	}
+	return flushed
+}
+
+// CountValid returns the number of valid lines (for occupancy checks).
+func (c *Cache) CountValid() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].State != Invalid {
+			n++
+		}
+	}
+	return n
+}

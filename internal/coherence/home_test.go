@@ -1,0 +1,275 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/cxl"
+	"repro/internal/mem"
+	"repro/internal/phys"
+	"repro/internal/sim"
+	"repro/internal/timing"
+)
+
+func newAgent(t *testing.T) *HomeAgent {
+	t.Helper()
+	p := timing.Default()
+	llc := cache.MustNew("llc", 64<<10, 4)
+	store := mem.NewStore("host")
+	chs := mem.NewChannels("mc", 8, p.DRAM.WriteQueueEntries, p.DRAM.WriteDrainPerLine)
+	return NewHomeAgent(p, llc, store, chs)
+}
+
+func line(b byte) []byte {
+	d := make([]byte, phys.LineSize)
+	for i := range d {
+		d[i] = b
+	}
+	return d
+}
+
+const addr = phys.Addr(0x1000)
+
+func TestNCReadNoStateChange(t *testing.T) {
+	h := newAgent(t)
+	h.LLC().Fill(addr, cache.Modified, line(0xAA))
+	res := h.D2H(cxl.NCRead, addr, nil, 0)
+	if !res.LLCHit || res.Data[0] != 0xAA {
+		t.Fatalf("res = %+v", res)
+	}
+	if got := h.LLC().Peek(addr).State; got != cache.Modified {
+		t.Fatalf("LLC state after NC-rd = %v, want M (no change)", got)
+	}
+	if res.HMCState != cache.Invalid {
+		t.Fatal("NC-rd must not allocate HMC")
+	}
+}
+
+func TestNCReadMissReadsMemory(t *testing.T) {
+	h := newAgent(t)
+	h.Store().WriteLine(addr, line(0x42))
+	res := h.D2H(cxl.NCRead, addr, nil, 0)
+	if res.LLCHit || res.Data[0] != 0x42 {
+		t.Fatalf("res = %+v", res)
+	}
+	// Miss path is slower than hit path.
+	h2 := newAgent(t)
+	h2.LLC().Fill(addr, cache.Exclusive, line(1))
+	hitRes := h2.D2H(cxl.NCRead, addr, nil, 0)
+	if hitRes.Done >= res.Done {
+		t.Fatalf("LLC hit (%v) should be faster than miss (%v)", hitRes.Done, res.Done)
+	}
+}
+
+func TestCSReadSharesLine(t *testing.T) {
+	h := newAgent(t)
+	h.LLC().Fill(addr, cache.Exclusive, line(0x55))
+	res := h.D2H(cxl.CSRead, addr, nil, 0)
+	if res.HMCState != cache.Shared {
+		t.Fatalf("HMC state = %v, want S", res.HMCState)
+	}
+	if got := h.LLC().Peek(addr).State; got != cache.Shared {
+		t.Fatalf("LLC state = %v, want S (Table III I/S)", got)
+	}
+	if h.DeviceHolds(addr) != cache.Shared {
+		t.Fatal("directory must track the shared device copy")
+	}
+}
+
+func TestCSReadMissDoesNotTouchLLC(t *testing.T) {
+	h := newAgent(t)
+	h.Store().WriteLine(addr, line(9))
+	res := h.D2H(cxl.CSRead, addr, nil, 0)
+	if res.LLCHit {
+		t.Fatal("should miss")
+	}
+	if h.LLC().Peek(addr) != nil {
+		t.Fatal("CS-rd miss must not allocate into LLC")
+	}
+	if res.Data[0] != 9 {
+		t.Fatal("data from memory")
+	}
+}
+
+func TestCOReadInvalidatesLLCAndFollowsState(t *testing.T) {
+	// Table III: LLC hit → HMC gets E or M following the original LLC
+	// state; LLC becomes Invalid.
+	for _, tc := range []struct {
+		llcState cache.State
+		want     cache.State
+	}{
+		{cache.Exclusive, cache.Exclusive},
+		{cache.Modified, cache.Modified},
+		{cache.Shared, cache.Exclusive},
+	} {
+		h := newAgent(t)
+		h.LLC().Fill(addr, tc.llcState, line(0x77))
+		res := h.D2H(cxl.CORead, addr, nil, 0)
+		if res.HMCState != tc.want {
+			t.Errorf("LLC %v: HMC state = %v, want %v", tc.llcState, res.HMCState, tc.want)
+		}
+		if h.LLC().Peek(addr) != nil {
+			t.Errorf("LLC %v: line must be invalidated by RdOwn", tc.llcState)
+		}
+		if res.Data[0] != 0x77 {
+			t.Errorf("LLC %v: data = %#x", tc.llcState, res.Data[0])
+		}
+	}
+}
+
+func TestCOReadMissGrantsExclusive(t *testing.T) {
+	h := newAgent(t)
+	h.Store().WriteLine(addr, line(3))
+	res := h.D2H(cxl.CORead, addr, nil, 0)
+	if res.HMCState != cache.Exclusive {
+		t.Fatalf("HMC state = %v, want E", res.HMCState)
+	}
+	if h.DeviceHolds(addr) != cache.Exclusive {
+		t.Fatal("directory must track exclusive device copy")
+	}
+}
+
+func TestCOWriteInvalidatesHostAndTracksModified(t *testing.T) {
+	h := newAgent(t)
+	h.LLC().Fill(addr, cache.Shared, line(1))
+	res := h.D2H(cxl.COWrite, addr, nil, 0)
+	if h.LLC().Peek(addr) != nil {
+		t.Fatal("LLC copy must be invalidated")
+	}
+	if h.DeviceHolds(addr) != cache.Modified {
+		t.Fatal("directory must record M in device")
+	}
+	if res.HMCState != cache.Modified {
+		t.Fatalf("HMC state = %v", res.HMCState)
+	}
+}
+
+func TestCOWriteHitFasterThanMiss(t *testing.T) {
+	h := newAgent(t)
+	h.LLC().Fill(addr, cache.Shared, line(1))
+	hit := h.D2H(cxl.COWrite, addr, nil, 0)
+	miss := h.D2H(cxl.COWrite, addr+0x40, nil, 0)
+	if hit.Done >= miss.Done {
+		t.Fatalf("CO-wr hit %v should beat miss %v", hit.Done, miss.Done)
+	}
+}
+
+func TestNCWriteInvalidatesEverythingAndWritesMemory(t *testing.T) {
+	h := newAgent(t)
+	h.LLC().Fill(addr, cache.Modified, line(1))
+	h.D2H(cxl.CSRead, addr, nil, 0) // device takes a shared copy
+	res := h.D2H(cxl.NCWrite, addr, line(0xBB), sim.Microsecond)
+	if h.LLC().Peek(addr) != nil {
+		t.Fatal("LLC must be invalid after WrInv")
+	}
+	if h.DeviceHolds(addr) != cache.Invalid {
+		t.Fatal("directory entry must be dropped")
+	}
+	buf := make([]byte, phys.LineSize)
+	h.Store().ReadLine(addr, buf)
+	if buf[0] != 0xBB {
+		t.Fatal("memory must hold the written data")
+	}
+	if res.Done < sim.Microsecond {
+		t.Fatal("completion precedes arrival")
+	}
+}
+
+func TestNCPDepositsModifiedLineInLLC(t *testing.T) {
+	h := newAgent(t)
+	res := h.D2H(cxl.NCP, addr, line(0xCD), 0)
+	l := h.LLC().Peek(addr)
+	if l == nil || l.State != cache.Modified {
+		t.Fatalf("LLC line after NC-P = %+v, want Modified", l)
+	}
+	if l.Data[0] != 0xCD {
+		t.Fatal("LLC data wrong")
+	}
+	if res.HMCState != cache.Invalid {
+		t.Fatal("HMC must not retain the line")
+	}
+}
+
+func TestNCPEvictionWritesBackVictim(t *testing.T) {
+	p := timing.Default()
+	llc := cache.MustNew("llc", 64, 1) // single line
+	store := mem.NewStore("host")
+	chs := mem.NewChannels("mc", 1, p.DRAM.WriteQueueEntries, p.DRAM.WriteDrainPerLine)
+	h := NewHomeAgent(p, llc, store, chs)
+	h.D2H(cxl.NCP, 0x0, line(0x11), 0)
+	h.D2H(cxl.NCP, 0x40, line(0x22), 0) // evicts the first
+	buf := make([]byte, phys.LineSize)
+	store.ReadLine(0x0, buf)
+	if buf[0] != 0x11 {
+		t.Fatal("evicted NC-P victim must be written back to memory")
+	}
+}
+
+func TestWritebackFromDevice(t *testing.T) {
+	h := newAgent(t)
+	h.D2H(cxl.CORead, addr, nil, 0)
+	done := h.WritebackFromDevice(addr, line(0x99), 100)
+	if h.DeviceHolds(addr) != cache.Invalid {
+		t.Fatal("directory entry must clear on writeback")
+	}
+	buf := make([]byte, phys.LineSize)
+	h.Store().ReadLine(addr, buf)
+	if buf[0] != 0x99 {
+		t.Fatal("writeback data lost")
+	}
+	if done < 100 {
+		t.Fatal("completion precedes arrival")
+	}
+}
+
+func TestSnoopDevice(t *testing.T) {
+	h := newAgent(t)
+	h.D2H(cxl.CORead, addr, nil, 0)
+	st, ok := h.SnoopDevice(addr)
+	if !ok || st != cache.Exclusive {
+		t.Fatalf("snoop = %v,%v", st, ok)
+	}
+	if _, ok := h.SnoopDevice(addr); ok {
+		t.Fatal("second snoop should find nothing")
+	}
+	_, _, backInvals := h.Stats()
+	if backInvals != 1 {
+		t.Fatalf("backInvals = %d", backInvals)
+	}
+}
+
+func TestLatencyOrderingHitVsMiss(t *testing.T) {
+	// For every read type, LLC-hit completes earlier than LLC-miss, as in
+	// Fig. 3's latency bars.
+	for _, req := range []cxl.D2HReq{cxl.NCRead, cxl.CSRead, cxl.CORead} {
+		h1 := newAgent(t)
+		h1.LLC().Fill(addr, cache.Exclusive, line(1))
+		hit := h1.D2H(req, addr, nil, 0)
+		h2 := newAgent(t)
+		miss := h2.D2H(req, addr, nil, 0)
+		if hit.Done >= miss.Done {
+			t.Errorf("%v: hit %v >= miss %v", req, hit.Done, miss.Done)
+		}
+	}
+}
+
+func TestUnknownRequestPanics(t *testing.T) {
+	h := newAgent(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.D2H(cxl.D2HReq(99), addr, nil, 0)
+}
+
+func TestStatsCounters(t *testing.T) {
+	h := newAgent(t)
+	h.D2H(cxl.NCRead, addr, nil, 0)
+	h.D2H(cxl.CSRead, addr, nil, 0)
+	h.D2H(cxl.NCWrite, addr, nil, 0)
+	r, w, _ := h.Stats()
+	if r != 2 || w != 1 {
+		t.Fatalf("stats = %d reads, %d writes", r, w)
+	}
+}

@@ -1,0 +1,84 @@
+package device
+
+import (
+	"repro/internal/lzc"
+	"repro/internal/sim"
+	"repro/internal/timing"
+	"repro/internal/xxhash"
+)
+
+// Accel bundles the device's accelerator IPs: the streaming compression and
+// decompression engines used by cxl-zswap and the xxhash and byte-compare
+// engines used by cxl-ksm (§VI). The IPs are functionally real — they run
+// the same codec and hash as the host software paths — with FPGA-calibrated
+// streaming rates.
+type Accel struct {
+	p *timing.Params
+	// engine serializes IP invocations: the CAFU instantiates one pipeline
+	// per function, so concurrent offloads queue.
+	compressEngine *sim.Resource
+	hashEngine     *sim.Resource
+}
+
+// NewAccel returns the device's accelerator complex.
+func NewAccel(p *timing.Params) *Accel {
+	return &Accel{
+		p:              p,
+		compressEngine: sim.NewResource("accel.compress"),
+		hashEngine:     sim.NewResource("accel.hash"),
+	}
+}
+
+// Compress runs the compression IP over page starting at now, returning the
+// compressed bytes and the completion time. The IP streams at
+// CompressBytesPerSec after a fixed pipeline-fill startup.
+func (a *Accel) Compress(page []byte, now sim.Time) ([]byte, sim.Time) {
+	occ := a.p.Device.CompressStartup + timing.Streaming(len(page), a.p.Device.CompressBytesPerSec)
+	start := a.compressEngine.Claim(now, occ)
+	return lzc.Compress(nil, page), start + occ
+}
+
+// Decompress runs the decompression IP, returning the original bytes and
+// completion time. dstLen is the expected decompressed size.
+func (a *Accel) Decompress(comp []byte, dstLen int, now sim.Time) ([]byte, sim.Time, error) {
+	occ := a.p.Device.CompressStartup + timing.Streaming(dstLen, a.p.Device.DecompressBytesPerSec)
+	start := a.compressEngine.Claim(now, occ)
+	out := make([]byte, dstLen)
+	n, err := lzc.Decompress(out, comp)
+	if err != nil {
+		return nil, start + occ, err
+	}
+	return out[:n], start + occ, nil
+}
+
+// Hash runs the xxhash IP over page (ksm's checksum hint, §VI-B).
+func (a *Accel) Hash(page []byte, now sim.Time) (uint32, sim.Time) {
+	occ := timing.Streaming(len(page), a.p.Device.HashBytesPerSec)
+	start := a.hashEngine.Claim(now, occ)
+	return xxhash.PageChecksum(page), start + occ
+}
+
+// Compare runs the byte-by-byte comparison IP over two pages, returning the
+// index of the first differing byte (len(a) if equal) and the completion
+// time. Like the kernel's memcmp-based ksm comparison it stops at the first
+// difference, so the engine occupancy scales with the compared prefix.
+func (a *Accel) Compare(x, y []byte, now sim.Time) (int, sim.Time) {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	diff := n
+	for i := 0; i < n; i++ {
+		if x[i] != y[i] {
+			diff = i
+			break
+		}
+	}
+	compared := diff
+	if compared < n {
+		compared++ // the differing byte itself was examined
+	}
+	occ := timing.Streaming(compared, a.p.Device.CompareBytesPerSec)
+	start := a.hashEngine.Claim(now, occ)
+	return diff, start + occ
+}

@@ -1,0 +1,188 @@
+package device
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cxl"
+	"repro/internal/phys"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// D2D issues one 64-byte device-to-device-memory request (§IV-B). addr must
+// be device memory. The request consults DMC first, then device memory; in
+// host-bias mode the DCOH additionally checks whether the host holds the
+// line before serving requests that could observe or break coherence, which
+// is the latency/bandwidth penalty Fig. 4 quantifies.
+func (d *Device) D2D(req cxl.D2HReq, addr phys.Addr, data []byte, now sim.Time) Result {
+	res := d.d2d(req, addr, data, now)
+	if d.tracer != nil {
+		where := "mem"
+		if res.DMCHit {
+			where = "DMC"
+		}
+		d.emit(trace.D2D, req.String(), phys.LineAddr(addr), now, res.Done, where)
+	}
+	return res
+}
+
+func (d *Device) d2d(req cxl.D2HReq, addr phys.Addr, data []byte, now sim.Time) Result {
+	if !d.cfg.Type.HasDeviceMemory() || !d.cfg.Type.HasDeviceCache() {
+		panic(fmt.Sprintf("device: D2D with cache hints requires Type-2; device is %v", d.cfg.Type))
+	}
+	if req == cxl.NCP {
+		panic("device: NC-P targets host LLC and is not defined for D2D")
+	}
+	addr = phys.LineAddr(addr)
+	d.stats.D2D++
+	hostBias := d.BiasOf(addr) == HostBias
+
+	gap := d.p.Device.LSUIssueGap
+	if hostBias && req.IsWrite() {
+		gap = d.p.Device.HostBiasWriteGap
+	}
+	issue := d.lsu.Claim(now, gap)
+	t := issue + d.p.Device.LSUIssue + d.p.Device.DCOHLookup
+
+	line := d.dmc.Peek(addr)
+	dmcHit := line.Valid()
+
+	// Host-bias coherence check (§IV-B): reads of a Shared DMC line eschew
+	// the check (the host can hold at most another shared copy); everything
+	// else consults the host and recalls/invalidates its copy.
+	needCheck := hostBias && !(req.IsRead() && dmcHit && line.State == cache.Shared)
+	if needCheck {
+		t += d.p.CXL.BiasCheck
+		// Functional side of the check: drop any host LLC copy so the
+		// device observes/owns the latest data.
+		if st, data_, ok := d.home.LLC().Invalidate(addr); ok && (st == cache.Modified) && data_ != nil {
+			// The host had newer data: it is transferred into DMC/devmem.
+			d.mem.WriteLine(addr, data_)
+			if dmcHit {
+				setLineData(line, data_)
+			}
+		}
+	}
+
+	switch {
+	case req.IsRead():
+		if dmcHit {
+			d.stats.DMCHits++
+			if req == cxl.CSRead && hostBias && line.State != cache.Shared {
+				// Losing write permission: a Modified line's data must land
+				// in device memory before the downgrade.
+				if line.State == cache.Modified && line.Data != nil {
+					d.mem.WriteLine(addr, line.Data)
+					d.chs.PostWrite(addr, t)
+				}
+				line.State = cache.Shared
+			}
+			return Result{Done: t + d.p.Device.DMCRead, Data: cloneLine(line.Data), DMCHit: true}
+		}
+		// Miss: device memory access, allocating for cacheable reads.
+		start := d.d2dCredits.Acquire(t)
+		done := start + d.p.Device.DevMemCtrl + d.p.DRAM.DDR4Read
+		d.d2dCredits.Complete(done)
+		d.stats.DevMemReads++
+		buf := make([]byte, phys.LineSize)
+		d.mem.ReadLine(addr, buf)
+		if req == cxl.CSRead || req == cxl.CORead {
+			st := cache.Exclusive // device-bias: no coherence state semantics
+			if hostBias {
+				if req == cxl.CSRead {
+					st = cache.Shared
+				}
+			}
+			d.fillDMC(addr, st, buf, done)
+		}
+		return Result{Done: done, Data: buf}
+
+	case req == cxl.COWrite:
+		// Cacheable write: install in DMC as Modified.
+		d.stats.DevWrites++
+		if dmcHit {
+			d.stats.DMCHits++
+			line.State = cache.Modified
+			if data != nil {
+				setLineData(line, data)
+			}
+			return Result{Done: t + d.p.Device.DMCWrite, DMCHit: true}
+		}
+		d.fillDMC(addr, cache.Modified, data, t)
+		return Result{Done: t + d.p.Device.DMCWrite}
+
+	case req == cxl.NCWrite:
+		// Non-cacheable write: invalidate DMC copy, post to device memory.
+		d.stats.DevWrites++
+		if dmcHit {
+			d.dmc.Invalidate(addr)
+		}
+		if data != nil {
+			d.mem.WriteLine(addr, data)
+		}
+		admitted := d.chs.PostWrite(addr, t+d.p.Device.DevMemCtrl)
+		return Result{Done: admitted, DMCHit: dmcHit}
+
+	default:
+		panic(fmt.Sprintf("device: unsupported D2D request %v", req))
+	}
+}
+
+// fillDMC installs a line into the direct-mapped DMC, writing a dirty
+// victim back to device memory.
+func (d *Device) fillDMC(addr phys.Addr, st cache.State, data []byte, now sim.Time) {
+	v, evicted := d.dmc.Fill(addr, st, data)
+	if evicted && v.Dirty() {
+		if v.Data != nil {
+			d.mem.WriteLine(v.Addr, v.Data)
+		}
+		d.chs.PostWrite(v.Addr, now)
+	}
+}
+
+// ReadDevBlock performs a multi-line D2D block read (e.g. pulling a
+// compressed page out of the zpool, §VI-A step 2 of decompression).
+func (d *Device) ReadDevBlock(req cxl.D2HReq, addr phys.Addr, size int, dst []byte, now sim.Time) sim.Time {
+	if !req.IsRead() {
+		panic("device: ReadDevBlock requires a read hint")
+	}
+	t := now + d.p.Device.LSUTransferSetup
+	var last sim.Time
+	for off := 0; off < size; off += phys.LineSize {
+		r := d.D2D(req, addr+phys.Addr(off), nil, t)
+		if dst != nil && r.Data != nil {
+			copy(dst[off:min(off+phys.LineSize, len(dst))], r.Data)
+		}
+		if r.Done > last {
+			last = r.Done
+		}
+	}
+	return last
+}
+
+// WriteDevBlock performs a multi-line D2D block write (e.g. storing a
+// compressed page into a device-memory zpool with NC-write, §VI-A step 5).
+func (d *Device) WriteDevBlock(req cxl.D2HReq, addr phys.Addr, src []byte, size int, now sim.Time) sim.Time {
+	if !req.IsWrite() {
+		panic("device: WriteDevBlock requires a write hint")
+	}
+	t := now + d.p.Device.LSUTransferSetup
+	var last sim.Time
+	var lineBuf [phys.LineSize]byte
+	for off := 0; off < size; off += phys.LineSize {
+		var data []byte
+		if src != nil {
+			n := copy(lineBuf[:], src[off:])
+			for i := n; i < phys.LineSize; i++ {
+				lineBuf[i] = 0
+			}
+			data = lineBuf[:]
+		}
+		r := d.D2D(req, addr+phys.Addr(off), data, t)
+		if r.Done > last {
+			last = r.Done
+		}
+	}
+	return last
+}

@@ -1,0 +1,249 @@
+// Package device models the CXL device of the paper: an Agilex-7-class
+// card that can be personalized as a CXL Type-2 device (DCOH slice with
+// host-memory cache and device-memory cache, CXL.cache + CXL.mem), a CXL
+// Type-3 device (no device cache), or a plain PCIe device.
+//
+// The Type-2 personality implements the architecture of §IV: the DCOH
+// serves D2H requests (against HMC, host LLC or host memory), D2D requests
+// (against DMC and device memory, in host- or device-bias mode) and H2D
+// requests (always from device memory, never from DMC), with the cache
+// hints NC-P / NC / CO / CS carrying Table III's coherence semantics.
+package device
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/cxl"
+	"repro/internal/interconnect"
+	"repro/internal/mem"
+	"repro/internal/phys"
+	"repro/internal/sim"
+	"repro/internal/timing"
+	"repro/internal/trace"
+)
+
+// BiasMode selects how a device-memory region manages host-device coherence
+// (§IV-B).
+type BiasMode uint8
+
+// Bias modes.
+const (
+	// HostBias routes coherence through hardware: the DCOH consults the host
+	// before serving D2D requests that could conflict with host caches.
+	HostBias BiasMode = iota
+	// DeviceBias skips the host check, giving the accelerator the fastest
+	// path to device memory; software owns coherence.
+	DeviceBias
+)
+
+// String names the mode.
+func (m BiasMode) String() string {
+	if m == DeviceBias {
+		return "device-bias"
+	}
+	return "host-bias"
+}
+
+// Config selects a device personality.
+type Config struct {
+	// Type is the CXL device type: Type2 enables the full DCOH (HMC + DMC
+	// + device memory), Type3 disables CXL.cache (no device caches), and
+	// Type1 (the SNIC class of Table I) keeps the coherent HMC but has no
+	// host-visible device memory — D2D and H2D are rejected.
+	Type cxl.DeviceType
+	// HMCBytes/HMCWays and DMCBytes/DMCWays shape the device caches.
+	// Defaults mirror the paper: 4-way 128 KB HMC, direct-mapped 32 KB DMC
+	// per DCOH slice.
+	HMCBytes, HMCWays int
+	DMCBytes, DMCWays int
+	// DevMemChannels is the number of device DRAM channels (2× DDR4-2400).
+	DevMemChannels int
+}
+
+// DefaultConfig returns the paper's Type-2 device configuration.
+func DefaultConfig() Config {
+	return Config{
+		Type:           cxl.Type2,
+		HMCBytes:       128 << 10,
+		HMCWays:        4,
+		DMCBytes:       32 << 10,
+		DMCWays:        1,
+		DevMemChannels: 2,
+	}
+}
+
+// Device is the CXL endpoint: DCOH caches, device memory and the LSU that
+// device accelerators use to issue memory requests.
+type Device struct {
+	p    *timing.Params
+	cfg  Config
+	hmc  *cache.Cache // nil on Type-3
+	dmc  *cache.Cache // nil on Type-3
+	mem  *mem.Store
+	chs  *mem.Channels
+	home *coherence.HomeAgent
+	link *interconnect.Link
+
+	lsu        *sim.Resource // serializes accelerator request issue
+	d2hCredits *sim.Credits
+	d2dCredits *sim.Credits
+
+	// biasOverrides lists device-memory sub-ranges in device-bias mode;
+	// everything else defaults to host-bias.
+	biasOverrides []phys.Range
+
+	tracer trace.Tracer
+	stats  Stats
+}
+
+// Stats counts device-side events.
+type Stats struct {
+	D2H, D2D, H2D          uint64
+	HMCHits, DMCHits       uint64
+	BiasFlips              uint64
+	HMCWritebacks          uint64
+	DevMemReads, DevWrites uint64
+}
+
+// New builds a device attached to home over link. home and link must be
+// non-nil; the same home agent serves the host cores.
+func New(p *timing.Params, cfg Config, home *coherence.HomeAgent, link *interconnect.Link) (*Device, error) {
+	if home == nil || link == nil {
+		return nil, fmt.Errorf("device: home and link are required")
+	}
+	if cfg.Type != cxl.Type1 && cfg.Type != cxl.Type2 && cfg.Type != cxl.Type3 {
+		return nil, fmt.Errorf("device: unsupported CXL personality %v", cfg.Type)
+	}
+	d := &Device{
+		p:          p,
+		cfg:        cfg,
+		mem:        mem.NewStore("devmem"),
+		home:       home,
+		link:       link,
+		lsu:        sim.NewResource("lsu"),
+		d2hCredits: sim.NewCredits("d2h", p.CXL.D2HReadCredits),
+		d2dCredits: sim.NewCredits("d2d", p.Device.D2DReadCredits),
+	}
+	d.chs = mem.NewChannels("devmc", cfg.DevMemChannels, p.DRAM.WriteQueueEntries, p.DRAM.DDR4WriteDrainPerLine)
+	if cfg.Type.HasDeviceCache() {
+		var err error
+		if d.hmc, err = cache.New("hmc", cfg.HMCBytes, cfg.HMCWays); err != nil {
+			return nil, err
+		}
+		if cfg.Type.HasDeviceMemory() {
+			if d.dmc, err = cache.New("dmc", cfg.DMCBytes, cfg.DMCWays); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return d, nil
+}
+
+// MustNew is New for static configurations; it panics on error.
+func MustNew(p *timing.Params, cfg Config, home *coherence.HomeAgent, link *interconnect.Link) *Device {
+	d, err := New(p, cfg, home, link)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Type returns the device personality.
+func (d *Device) Type() cxl.DeviceType { return d.cfg.Type }
+
+// HMC exposes the host-memory cache (nil on Type-3) for state
+// cross-validation, mirroring the paper's methodology.
+func (d *Device) HMC() *cache.Cache { return d.hmc }
+
+// DMC exposes the device-memory cache (nil on Type-3).
+func (d *Device) DMC() *cache.Cache { return d.dmc }
+
+// Mem exposes the functional device-memory store.
+func (d *Device) Mem() *mem.Store { return d.mem }
+
+// Link exposes the CXL link.
+func (d *Device) Link() *interconnect.Link { return d.link }
+
+// Home exposes the host home agent the device is attached to.
+func (d *Device) Home() *coherence.HomeAgent { return d.home }
+
+// Stats returns a copy of the device counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// SetTracer installs a transaction tracer (nil disables tracing). Every
+// D2H/D2D/H2D request emits one trace.Event.
+func (d *Device) SetTracer(t trace.Tracer) { d.tracer = t }
+
+// emit records a trace event if tracing is enabled.
+func (d *Device) emit(kind trace.Kind, op string, addr phys.Addr, start, done sim.Time, where string) {
+	if d.tracer == nil {
+		return
+	}
+	d.tracer.Record(trace.Event{Start: start, Done: done, Kind: kind, Op: op, Addr: addr, Where: where})
+}
+
+// ResetTiming returns all timing resources to idle (between experiment
+// repetitions) without touching cache or memory contents.
+func (d *Device) ResetTiming() {
+	d.lsu.Reset()
+	d.d2hCredits.Reset()
+	d.d2dCredits.Reset()
+	d.chs.Reset()
+	d.link.Reset()
+}
+
+// ---------- bias management (§IV-B) ----------
+
+// BiasOf reports the bias mode governing addr.
+func (d *Device) BiasOf(addr phys.Addr) BiasMode {
+	for _, r := range d.biasOverrides {
+		if r.Contains(addr) {
+			return DeviceBias
+		}
+	}
+	return HostBias
+}
+
+// EnterDeviceBias switches a device-memory region into device-bias mode.
+// Per §IV-B the host software must first flush its cached copies of the
+// region; this helper performs that flush against the home LLC and returns
+// the completion time including the per-line flush cost.
+func (d *Device) EnterDeviceBias(r phys.Range, now sim.Time) sim.Time {
+	flushed := d.home.LLC().FlushRange(r, func(v cache.Victim) {
+		if v.Data != nil {
+			d.mem.WriteLine(v.Addr, v.Data)
+		}
+	})
+	for _, o := range d.biasOverrides {
+		if o == r {
+			return now + sim.Time(flushed)*d.p.Host.CLFlush
+		}
+	}
+	d.biasOverrides = append(d.biasOverrides, r)
+	return now + sim.Time(flushed)*d.p.Host.CLFlush
+}
+
+// ExitDeviceBias returns a region to host-bias mode.
+func (d *Device) ExitDeviceBias(r phys.Range) {
+	for i, o := range d.biasOverrides {
+		if o == r {
+			d.biasOverrides = append(d.biasOverrides[:i], d.biasOverrides[i+1:]...)
+			return
+		}
+	}
+}
+
+// flipToHostBias implements the automatic device→host bias flip on an H2D
+// access to a device-bias region (§IV-B).
+func (d *Device) flipToHostBias(addr phys.Addr) bool {
+	for i, r := range d.biasOverrides {
+		if r.Contains(addr) {
+			d.biasOverrides = append(d.biasOverrides[:i], d.biasOverrides[i+1:]...)
+			d.stats.BiasFlips++
+			return true
+		}
+	}
+	return false
+}

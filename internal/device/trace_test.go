@@ -1,0 +1,51 @@
+package device
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cxl"
+	"repro/internal/trace"
+)
+
+func TestDeviceTracing(t *testing.T) {
+	d, home := fixture(t, cxl.Type2)
+	buf := trace.NewBuffer(16)
+	d.SetTracer(buf)
+	home.Store().WriteLine(hostAddr, line(1))
+
+	d.D2H(cxl.CSRead, hostAddr, nil, 0)   // miss → mem
+	d.D2H(cxl.CSRead, hostAddr, nil, 100) // hit → HMC
+	d.D2D(cxl.COWrite, devAddr, line(2), 200)
+	d.H2D(cxl.Ld, devAddr, nil, 300)
+
+	evs := buf.Events()
+	if len(evs) != 4 {
+		t.Fatalf("traced %d events", len(evs))
+	}
+	if evs[0].Kind != trace.D2H || evs[0].Where != "mem" {
+		t.Fatalf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Where != "HMC" {
+		t.Fatalf("event 1 = %+v", evs[1])
+	}
+	if evs[2].Kind != trace.D2D || evs[2].Op != "CO-wr" {
+		t.Fatalf("event 2 = %+v", evs[2])
+	}
+	if evs[3].Kind != trace.H2D || evs[3].Latency() <= 0 {
+		t.Fatalf("event 3 = %+v", evs[3])
+	}
+
+	sums := buf.Summarize()
+	table := trace.FormatSummary(sums)
+	if !strings.Contains(table, "CS-rd") || !strings.Contains(table, "H2D") {
+		t.Fatalf("summary = %q", table)
+	}
+
+	// Detach: no further events.
+	d.SetTracer(nil)
+	d.D2H(cxl.NCRead, hostAddr, nil, 400)
+	if buf.Total() != 4 {
+		t.Fatal("tracer not detached")
+	}
+}

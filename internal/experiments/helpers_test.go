@@ -1,0 +1,9 @@
+package experiments
+
+import (
+	"repro/internal/sim"
+	"repro/internal/ycsb"
+)
+
+func shortDuration() sim.Time { return 150 * sim.Millisecond }
+func ycsbA() ycsb.Workload    { return ycsb.A }

@@ -1,0 +1,75 @@
+// Package experiments implements one driver per table and figure of the
+// paper's evaluation (§V and §VII): each driver builds a fresh simulated
+// system, follows the paper's methodology (state priming with CLDEMOTE/
+// CLFLUSH and warm-up reads, >=1K repetitions, median + standard
+// deviation), and returns structured rows that print like the paper's
+// plots. The calibration tests in this package pin the headline ratios to
+// the paper's numbers.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/cxl"
+	"repro/internal/device"
+	"repro/internal/host"
+	"repro/internal/mem"
+	"repro/internal/phys"
+	"repro/internal/timing"
+)
+
+// Rig is a freshly built system for one measurement.
+type Rig struct {
+	P    *timing.Params
+	Host *host.Host
+	Dev  *device.Device
+	Emu  *host.EmuCore
+	rng  *rand.Rand
+}
+
+// NewRig builds a rig with the given device personality (cxl.Type2 or
+// cxl.Type3). A smaller-than-real LLC keeps rig construction cheap;
+// capacity effects are not what the microbenchmarks measure.
+func NewRig(devType cxl.DeviceType) *Rig {
+	p := timing.Default()
+	h := host.MustNew(p, host.Config{LLCBytes: 8 << 20, LLCWays: 16, Cores: 8})
+	cfg := device.DefaultConfig()
+	cfg.Type = devType
+	if _, err := h.Attach(cfg); err != nil {
+		panic(err)
+	}
+	return &Rig{P: p, Host: h, Dev: h.Dev, Emu: h.NewEmuCore(), rng: rand.New(rand.NewSource(42))}
+}
+
+// hostLine returns the i-th distinct host-memory line of a random-ish
+// stream, line-aligned (the paper measures random accesses).
+func (r *Rig) hostLine(i int) phys.Addr {
+	// A large-stride permutation avoids set conflicts while staying
+	// deterministic.
+	return phys.Addr(0x100000) + phys.Addr((i*2654435761)%(1<<20))*phys.LineSize
+}
+
+// devLine returns the i-th device-memory line.
+func (r *Rig) devLine(i int) phys.Addr {
+	return mem.RegionDevice.Base + phys.Addr(1<<20) + phys.Addr((i*2654435761)%(1<<18))*phys.LineSize
+}
+
+// column formats a latency/bandwidth table cell.
+func fmtCell(v float64) string { return fmt.Sprintf("%9.2f", v) }
+
+// printTable writes a simple aligned table.
+func printTable(w io.Writer, title string, header []string, rows [][]string) {
+	fmt.Fprintf(w, "\n%s\n", title)
+	for _, h := range header {
+		fmt.Fprintf(w, "%-17s", h)
+	}
+	fmt.Fprintln(w)
+	for _, row := range rows {
+		for _, c := range row {
+			fmt.Fprintf(w, "%-17s", c)
+		}
+		fmt.Fprintln(w)
+	}
+}

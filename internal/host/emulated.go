@@ -1,0 +1,128 @@
+package host
+
+import (
+	"fmt"
+
+	"repro/internal/cxl"
+	"repro/internal/phys"
+	"repro/internal/sim"
+)
+
+// EmuCore models the remote-socket CPU core that stands in for a CXL
+// Type-2 device in the paper's emulation methodology (footnote 1): since a
+// CXL device is exposed as a NUMA node, a remote core accessing a local
+// node's memory emulates D2H accesses, and its own L1/local DRAM emulate
+// DMC/device-memory for D2D.
+type EmuCore struct {
+	h         *Host
+	issue     *sim.Resource
+	readCred  *sim.Credits
+	ntRead    *sim.Credits
+	storeCred *sim.Credits
+}
+
+// NewEmuCore returns a socket-1 core wired to socket 0 over UPI.
+func (h *Host) NewEmuCore() *EmuCore {
+	return &EmuCore{
+		h:         h,
+		issue:     sim.NewResource("emu.issue"),
+		readCred:  sim.NewCredits("emu.rd", h.p.UPI.ReadCredits),
+		ntRead:    sim.NewCredits("emu.ntrd", h.p.Host.NTLoadCredits),
+		storeCred: sim.NewCredits("emu.st", h.p.UPI.StoreCredits),
+	}
+}
+
+// ResetTiming returns the emulated core's resources to idle.
+func (e *EmuCore) ResetTiming() {
+	e.issue.Reset()
+	e.readCred.Reset()
+	e.ntRead.Reset()
+	e.storeCred.Reset()
+}
+
+// D2H performs one emulated D2H access: the remote core issues op against
+// socket 0's memory over UPI. llcHit primes whether the target line is in
+// socket 0's LLC (the paper's LLC-1/LLC-0 cases). Timing only — the
+// emulation experiments never carry data.
+func (e *EmuCore) D2H(op cxl.HostOp, addr phys.Addr, now sim.Time) sim.Time {
+	p := e.h.p
+	start := e.issue.Claim(now, p.Host.IssueGap)
+	t := start + p.Host.LocalLookup
+	llcHit := e.h.llc.Peek(addr).Valid()
+	rt := 2 * p.UPI.OneWay
+
+	switch op {
+	case cxl.Ld, cxl.NtLd:
+		cred := e.readCred
+		extra := sim.Time(0)
+		if op == cxl.NtLd {
+			cred = e.ntRead
+			if llcHit {
+				extra = p.UPI.NTLoadExtraHit
+			} else {
+				extra = p.UPI.NTLoadExtraMiss
+			}
+		}
+		s := cred.Acquire(t)
+		var svc sim.Time
+		if llcHit {
+			svc = p.UPI.RemoteLLCRead
+		} else {
+			svc = p.UPI.RemoteDRAMRead
+		}
+		done := s + rt + svc + extra
+		cred.Complete(done)
+		return done
+
+	case cxl.St:
+		// RFO over UPI: ownership grant from the remote home.
+		s := e.storeCred.Acquire(t)
+		var svc sim.Time
+		if llcHit {
+			svc = p.UPI.StoreGrantHit
+		} else {
+			svc = p.UPI.StoreGrantMiss
+		}
+		done := s + rt + svc
+		e.storeCred.Complete(done)
+		return done
+
+	case cxl.NtSt:
+		// Posted one-way write: completion at WC-buffer flush + remote
+		// write-queue admission — which stalls once the queues fill (§V-A).
+		var svc sim.Time
+		if llcHit {
+			svc = p.UPI.NTStoreFlushHit
+		} else {
+			svc = p.UPI.NTStoreFlushMiss
+		}
+		admitted := e.h.chs.PostWrite(addr, t+p.UPI.OneWay+svc)
+		return admitted
+
+	default:
+		panic(fmt.Sprintf("host: unknown op %v", op))
+	}
+}
+
+// D2D performs one emulated D2D access: the remote core against its own
+// cache/memory. hit selects the DMC-1 analogue (an L1 hit, as §V-B assumes:
+// "a CPU core hits its L1 equivalent to DMC since the CXL Type-2 device has
+// a single level of cache") versus local DRAM for DMC-0.
+func (e *EmuCore) D2D(op cxl.HostOp, hit bool, now sim.Time) sim.Time {
+	p := e.h.p
+	start := e.issue.Claim(now, p.Host.IssueGap)
+	if hit {
+		return start + p.Host.L1Hit
+	}
+	switch op {
+	case cxl.Ld, cxl.NtLd, cxl.St:
+		s := e.readCred.Acquire(start + p.Host.LocalLookup)
+		done := s + p.DRAM.DDR5Read
+		e.readCred.Complete(done)
+		return done
+	case cxl.NtSt:
+		return start + p.Host.LocalLookup + p.Host.StoreIssueGap + p.DRAM.DDR5Write/4
+	default:
+		panic(fmt.Sprintf("host: unknown op %v", op))
+	}
+}

@@ -1,0 +1,77 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// BackingSwap models the backing swap device (an NVMe-class SSD): the final
+// destination of pages zswap writes back, and the slow path for faults that
+// miss the compressed pool.
+type BackingSwap struct {
+	readLat, writeLat sim.Time
+	queue             *sim.Resource
+	pages             map[SwapSlot][]byte
+	reads, writes     uint64
+}
+
+// NewBackingSwap returns a device with the given per-page access latencies.
+func NewBackingSwap(readLat, writeLat sim.Time) *BackingSwap {
+	return &BackingSwap{
+		readLat:  readLat,
+		writeLat: writeLat,
+		queue:    sim.NewResource("swapdev"),
+		pages:    make(map[SwapSlot][]byte),
+	}
+}
+
+// Write stores a page under slot; returns the completion time.
+func (b *BackingSwap) Write(slot SwapSlot, page []byte, now sim.Time) sim.Time {
+	cp := make([]byte, len(page))
+	copy(cp, page)
+	b.pages[slot] = cp
+	b.writes++
+	start := b.queue.Claim(now, b.writeLat)
+	return start + b.writeLat
+}
+
+// Read fetches the page under slot; it returns an error for unknown slots.
+func (b *BackingSwap) Read(slot SwapSlot, now sim.Time) ([]byte, sim.Time, error) {
+	page, ok := b.pages[slot]
+	if !ok {
+		return nil, now, fmt.Errorf("kernel: swap slot %d not found", slot)
+	}
+	start := b.queue.Claim(now, b.readLat)
+	cp := make([]byte, len(page))
+	copy(cp, page)
+	return cp, start + b.readLat, nil
+}
+
+// Drop releases slot.
+func (b *BackingSwap) Drop(slot SwapSlot) { delete(b.pages, slot) }
+
+// Stored reports how many pages the device holds.
+func (b *BackingSwap) Stored() int { return len(b.pages) }
+
+// Stats reports read/write counters.
+func (b *BackingSwap) Stats() (reads, writes uint64) { return b.reads, b.writes }
+
+// StorePage implements SwapOps for a bare no-zswap configuration: pages go
+// straight to the backing device uncompressed.
+func (b *BackingSwap) StorePage(slot SwapSlot, page []byte, now sim.Time) (done, hostCPU sim.Time) {
+	done = b.Write(slot, page, now)
+	return done, 0
+}
+
+// LoadPage implements SwapOps.
+func (b *BackingSwap) LoadPage(slot SwapSlot, now sim.Time) (page []byte, done, hostCPU sim.Time) {
+	p, d, err := b.Read(slot, now)
+	if err != nil {
+		panic(err)
+	}
+	return p, d, 0
+}
+
+// DropPage implements SwapOps.
+func (b *BackingSwap) DropPage(slot SwapSlot) { b.Drop(slot) }

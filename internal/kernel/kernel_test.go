@@ -1,0 +1,605 @@
+package kernel
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/phys"
+	"repro/internal/sim"
+	"repro/internal/timing"
+)
+
+// testSwap is an instant in-memory SwapOps recording calls.
+type testSwap struct {
+	pages          map[SwapSlot][]byte
+	stores, loads  int
+	storeLat       sim.Time
+	hostCPUPerPage sim.Time
+}
+
+func newTestSwap() *testSwap { return &testSwap{pages: map[SwapSlot][]byte{}} }
+
+func (s *testSwap) StorePage(slot SwapSlot, page []byte, now sim.Time) (sim.Time, sim.Time) {
+	cp := make([]byte, len(page))
+	copy(cp, page)
+	s.pages[slot] = cp
+	s.stores++
+	return now + s.storeLat, s.hostCPUPerPage
+}
+
+func (s *testSwap) LoadPage(slot SwapSlot, now sim.Time) ([]byte, sim.Time, sim.Time) {
+	p, ok := s.pages[slot]
+	if !ok {
+		panic("load of unknown slot")
+	}
+	s.loads++
+	return p, now, 0
+}
+
+func (s *testSwap) DropPage(slot SwapSlot) { delete(s.pages, slot) }
+
+func fixture(totalPages int) (*MM, *sim.Engine, *sim.Proc, *testSwap) {
+	p := timing.Default()
+	eng := sim.NewEngine()
+	store := mem.NewStore("host")
+	mm := NewMM(p, store, 0x100000, totalPages)
+	sw := newTestSwap()
+	mm.SetSwap(sw)
+	proc := sim.NewProc(eng, "test", nil)
+	return mm, eng, proc, sw
+}
+
+func page(b byte) []byte {
+	d := make([]byte, phys.PageSize)
+	for i := range d {
+		d[i] = b
+	}
+	return d
+}
+
+func TestMapReadRoundTrip(t *testing.T) {
+	mm, _, proc, _ := fixture(16)
+	as := mm.NewAddressSpace(1)
+	if err := as.Map(1, page(0x42), proc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := as.Read(1, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, page(0x42)) {
+		t.Fatal("read mismatch")
+	}
+	if mm.FreePages() != 15 {
+		t.Fatalf("free = %d", mm.FreePages())
+	}
+}
+
+func TestMapDuplicateFails(t *testing.T) {
+	mm, _, proc, _ := fixture(16)
+	as := mm.NewAddressSpace(1)
+	as.Map(1, nil, proc)
+	if err := as.Map(1, nil, proc); err == nil {
+		t.Fatal("duplicate map accepted")
+	}
+}
+
+func TestZeroPageDefault(t *testing.T) {
+	mm, _, proc, _ := fixture(16)
+	as := mm.NewAddressSpace(1)
+	as.Map(7, nil, proc)
+	got, _ := as.Read(7, proc)
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("unmapped data should be zero")
+		}
+	}
+	_ = mm
+}
+
+func TestUnmapFreesFrame(t *testing.T) {
+	mm, _, proc, _ := fixture(16)
+	as := mm.NewAddressSpace(1)
+	as.Map(1, nil, proc)
+	as.Unmap(1)
+	if mm.FreePages() != 16 {
+		t.Fatalf("free = %d after unmap", mm.FreePages())
+	}
+	if as.Mapped() != 0 {
+		t.Fatal("PTE survived unmap")
+	}
+}
+
+func TestDirectReclaimOnExhaustion(t *testing.T) {
+	mm, _, proc, sw := fixture(4)
+	as := mm.NewAddressSpace(1)
+	for v := uint64(0); v < 4; v++ {
+		if err := as.Map(v, page(byte(v)), proc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fifth map must direct-reclaim the LRU page (vpn 0).
+	if err := as.Map(4, page(4), proc); err != nil {
+		t.Fatal(err)
+	}
+	if sw.stores != 1 {
+		t.Fatalf("stores = %d", sw.stores)
+	}
+	if as.PTE(0).Present() {
+		t.Fatal("vpn 0 should be swapped out")
+	}
+	if mm.Stats().DirectReclaims != 1 || mm.Stats().SwapOuts != 1 {
+		t.Fatalf("stats = %+v", mm.Stats())
+	}
+}
+
+func TestMajorFaultRestoresData(t *testing.T) {
+	mm, _, proc, sw := fixture(4)
+	as := mm.NewAddressSpace(1)
+	for v := uint64(0); v < 5; v++ { // forces vpn 0 out
+		as.Map(v, page(byte(0x10+v)), proc)
+	}
+	before := proc.Now()
+	got, err := as.Read(0, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, page(0x10)) {
+		t.Fatal("swap round-trip corrupted data")
+	}
+	if sw.loads != 1 {
+		t.Fatalf("loads = %d", sw.loads)
+	}
+	if mm.Stats().MajorFaults != 1 || mm.Stats().SwapIns != 1 {
+		t.Fatalf("stats = %+v", mm.Stats())
+	}
+	if proc.Now() <= before {
+		t.Fatal("fault must cost time")
+	}
+	// The slot is dropped after swap-in.
+	if len(sw.pages) != 1 { // only the page evicted to make room remains
+		t.Fatalf("slots outstanding = %d", len(sw.pages))
+	}
+}
+
+func TestLRUOrderRespectsTouch(t *testing.T) {
+	mm, _, proc, _ := fixture(4)
+	as := mm.NewAddressSpace(1)
+	for v := uint64(0); v < 4; v++ {
+		as.Map(v, page(byte(v)), proc)
+	}
+	as.Read(0, proc) // vpn 0 becomes MRU
+	as.Map(4, page(4), proc)
+	if !as.PTE(0).Present() {
+		t.Fatal("recently touched page was reclaimed")
+	}
+	if as.PTE(1).Present() {
+		t.Fatal("vpn 1 should have been the LRU victim")
+	}
+}
+
+func TestCoWShareAndBreak(t *testing.T) {
+	mm, _, proc, _ := fixture(16)
+	a := mm.NewAddressSpace(1)
+	b := mm.NewAddressSpace(2)
+	a.Map(1, page(0x77), proc)
+	b.Map(9, page(0x77), proc)
+	// Merge b's page into a's frame (what ksm does).
+	keeper := a.PTE(1).Frame
+	mm.MarkReadOnly(keeper)
+	mm.SharePTEs(keeper, b.PTE(9))
+	if keeper.RefCount() != 2 {
+		t.Fatalf("refs = %d", keeper.RefCount())
+	}
+	if mm.FreePages() != 15 {
+		t.Fatalf("free = %d; duplicate frame not reclaimed", mm.FreePages())
+	}
+	// Reads see the same content.
+	ga, _ := a.Read(1, proc)
+	gb, _ := b.Read(9, proc)
+	if !bytes.Equal(ga, gb) {
+		t.Fatal("shared pages differ")
+	}
+	// Write from b breaks CoW: a keeps old data.
+	if err := b.Write(9, page(0x88), proc); err != nil {
+		t.Fatal(err)
+	}
+	ga, _ = a.Read(1, proc)
+	gb, _ = b.Read(9, proc)
+	if ga[0] != 0x77 || gb[0] != 0x88 {
+		t.Fatalf("CoW break wrong: a=%#x b=%#x", ga[0], gb[0])
+	}
+	if keeper.RefCount() != 1 {
+		t.Fatalf("keeper refs = %d after break", keeper.RefCount())
+	}
+	if mm.Stats().CoWBreaks != 1 {
+		t.Fatal("CoW break not counted")
+	}
+}
+
+func TestSwapOutSharedPageRestoresAllMappings(t *testing.T) {
+	mm, _, proc, _ := fixture(3)
+	a := mm.NewAddressSpace(1)
+	a.Map(1, page(0x31), proc)
+	a.Map(2, page(0x31), proc)
+	keeper := a.PTE(1).Frame
+	mm.MarkReadOnly(keeper)
+	mm.SharePTEs(keeper, a.PTE(2))
+	// Force the shared frame out.
+	a.Map(3, page(3), proc)
+	a.Map(4, page(4), proc)
+	if a.PTE(1).Present() || a.PTE(2).Present() {
+		// At least one of the fills should have evicted the shared frame;
+		// fault it back via vpn 1.
+		got, err := a.Read(1, proc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != 0x31 {
+			t.Fatal("shared swap data lost")
+		}
+		if !a.PTE(2).Present() {
+			t.Fatal("co-sharing PTE must be restored by the same fault")
+		}
+	}
+}
+
+func TestReadUnmappedErrors(t *testing.T) {
+	mm, _, proc, _ := fixture(4)
+	as := mm.NewAddressSpace(1)
+	if _, err := as.Read(99, proc); err == nil {
+		t.Fatal("expected error")
+	}
+	if err := as.Write(99, page(0), proc); err == nil {
+		t.Fatal("expected error")
+	}
+	_ = mm
+}
+
+func TestOOMWhenNothingReclaimable(t *testing.T) {
+	mm, _, proc, _ := fixture(1)
+	as := mm.NewAddressSpace(1)
+	as.Map(1, nil, proc)
+	f := as.PTE(1).Frame
+	f.KsmStable = true // not reclaimable
+	if err := as.Map(2, nil, proc); err == nil {
+		t.Fatal("expected OOM")
+	}
+	if mm.Stats().FailedAllocs != 1 {
+		t.Fatal("failed alloc not counted")
+	}
+}
+
+func TestHostCPUChargedToProc(t *testing.T) {
+	mm, eng, _, sw := fixture(2)
+	sw.hostCPUPerPage = 5 * sim.Microsecond
+	core := sim.NewResource("core")
+	proc := sim.NewProc(eng, "app", core)
+	as := mm.NewAddressSpace(1)
+	as.Map(1, nil, proc)
+	as.Map(2, nil, proc)
+	before := core.Busy()
+	as.Map(3, nil, proc) // direct reclaim: compression on this core
+	if core.Busy()-before < 5*sim.Microsecond {
+		t.Fatalf("reclaim host CPU not charged to core: %v", core.Busy()-before)
+	}
+}
+
+func TestKswapdBackgroundReclaim(t *testing.T) {
+	p := timing.Default()
+	eng := sim.NewEngine()
+	store := mem.NewStore("host")
+	mm := NewMM(p, store, 0x100000, 32)
+	mm.LowWM, mm.HighWM = 8, 16
+	sw := newTestSwap()
+	mm.SetSwap(sw)
+	core := sim.NewResource("kswapd-core")
+	k := NewKswapd(eng, mm, core)
+	proc := sim.NewProc(eng, "app", nil)
+	as := mm.NewAddressSpace(1)
+	// Allocate until free pages dip below low watermark (32-25=7 < 8).
+	for v := uint64(0); v < 25; v++ {
+		if err := as.Map(v, page(byte(v)), proc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if k.Wakeups() == 0 {
+		t.Fatal("kswapd never woke")
+	}
+	eng.Run()
+	if !mm.AboveHigh() {
+		t.Fatalf("kswapd stopped below high watermark: free=%d", mm.FreePages())
+	}
+	if mm.Stats().BackgroundReclaims == 0 {
+		t.Fatal("no background reclaims recorded")
+	}
+	// Stop keeps it quiet afterwards.
+	k.Stop()
+	k.Wake()
+	eng.Run()
+}
+
+func TestKswapdDoesNotDoubleWake(t *testing.T) {
+	p := timing.Default()
+	eng := sim.NewEngine()
+	mm := NewMM(p, mem.NewStore("h"), 0, 16)
+	mm.SetSwap(newTestSwap())
+	k := NewKswapd(eng, mm, nil)
+	k.Wake()
+	k.Wake() // second wake while running is a no-op
+	if k.Wakeups() != 1 {
+		t.Fatalf("wakeups = %d", k.Wakeups())
+	}
+}
+
+func TestBackingSwapRoundTrip(t *testing.T) {
+	b := NewBackingSwap(20*sim.Microsecond, 25*sim.Microsecond)
+	done := b.Write(1, page(0xAD), 0)
+	if done != 25*sim.Microsecond {
+		t.Fatalf("write done = %v", done)
+	}
+	got, rdone, err := b.Read(1, done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, page(0xAD)) {
+		t.Fatal("data mismatch")
+	}
+	if rdone != done+20*sim.Microsecond {
+		t.Fatalf("read done = %v", rdone)
+	}
+	if _, _, err := b.Read(99, 0); err == nil {
+		t.Fatal("unknown slot must error")
+	}
+	b.Drop(1)
+	if b.Stored() != 0 {
+		t.Fatal("drop failed")
+	}
+}
+
+func TestBackingSwapAsSwapOps(t *testing.T) {
+	b := NewBackingSwap(sim.Microsecond, sim.Microsecond)
+	var _ SwapOps = b
+	done, cpu := b.StorePage(5, page(1), 0)
+	if done <= 0 || cpu != 0 {
+		t.Fatalf("StorePage = %v, %v", done, cpu)
+	}
+	got, _, _ := b.LoadPage(5, done)
+	if got[0] != 1 {
+		t.Fatal("LoadPage data wrong")
+	}
+}
+
+// Property: after any sequence of map/unmap/read/write operations, the
+// frame accounting is consistent: free + in-use == total, and every
+// present PTE's frame maps back to it.
+func TestFrameAccountingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		mm, _, proc, _ := fixture(8)
+		as := mm.NewAddressSpace(1)
+		mapped := map[uint64]bool{}
+		for op := 0; op < 200; op++ {
+			vpn := uint64(rng.Intn(12))
+			switch rng.Intn(4) {
+			case 0:
+				if !mapped[vpn] {
+					if err := as.Map(vpn, page(byte(vpn)), proc); err == nil {
+						mapped[vpn] = true
+					}
+				}
+			case 1:
+				if mapped[vpn] {
+					as.Unmap(vpn)
+					delete(mapped, vpn)
+				}
+			case 2:
+				if mapped[vpn] {
+					as.Read(vpn, proc)
+				}
+			case 3:
+				if mapped[vpn] {
+					as.Write(vpn, page(byte(op)), proc)
+				}
+			}
+		}
+		inUse := 0
+		as.VPNs(func(vpn uint64, pte *PTE) {
+			if pte.Present() {
+				inUse++
+				found := false
+				for _, r := range pteFrames(pte) {
+					if r == pte {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatal("rmap does not contain the PTE")
+				}
+			}
+		})
+		if mm.FreePages()+inUse != mm.TotalPages() {
+			t.Fatalf("accounting: free=%d inUse=%d total=%d",
+				mm.FreePages(), inUse, mm.TotalPages())
+		}
+	}
+}
+
+func pteFrames(p *PTE) []*PTE { return p.Frame.rmap }
+
+// ---------- two-list LRU (active/inactive with second chance) ----------
+
+func TestTwoTouchPromotion(t *testing.T) {
+	mm, _, proc, _ := fixture(8)
+	as := mm.NewAddressSpace(1)
+	as.Map(1, page(1), proc)
+	if mm.ActivePages() != 0 {
+		t.Fatal("fresh page should start inactive")
+	}
+	as.Read(1, proc) // first touch: referenced
+	if mm.ActivePages() != 0 {
+		t.Fatal("one touch must not activate")
+	}
+	as.Read(1, proc) // second touch: promote
+	if mm.ActivePages() != 1 || mm.InactivePages() != 0 {
+		t.Fatalf("active=%d inactive=%d after double touch", mm.ActivePages(), mm.InactivePages())
+	}
+	if mm.Stats().Activations != 1 {
+		t.Fatal("activation not counted")
+	}
+}
+
+func TestSecondChanceRotation(t *testing.T) {
+	mm, _, proc, _ := fixture(3)
+	as := mm.NewAddressSpace(1)
+	as.Map(0, page(0), proc)
+	as.Map(1, page(1), proc)
+	as.Map(2, page(2), proc)
+	// Touch every page once, in order: all referenced, list order 0,1,2.
+	as.Read(0, proc)
+	as.Read(1, proc)
+	as.Read(2, proc)
+	// Reclaim: every page gets a second chance (bits cleared, rotated);
+	// the fallback pass then takes the oldest.
+	as.Map(3, page(3), proc)
+	if mm.Stats().SecondChances == 0 {
+		t.Fatal("second chances not counted")
+	}
+	if as.PTE(0).Present() {
+		t.Fatal("oldest page should be the fallback victim")
+	}
+	if !as.PTE(1).Present() || !as.PTE(2).Present() {
+		t.Fatal("younger pages should survive")
+	}
+	// A subsequent reclaim now finds cleared bits and evicts directly.
+	before := mm.Stats().SecondChances
+	as.Map(4, page(4), proc)
+	if mm.Stats().SecondChances != before {
+		t.Fatal("cleared pages should not get further chances")
+	}
+}
+
+func TestActiveProtectedFromReclaim(t *testing.T) {
+	mm, _, proc, _ := fixture(4)
+	as := mm.NewAddressSpace(1)
+	for v := uint64(0); v < 4; v++ {
+		as.Map(v, page(byte(v)), proc)
+	}
+	// Promote vpn 0 to active.
+	as.Read(0, proc)
+	as.Read(0, proc)
+	// Reclaim pressure: inactive pages 1..3 go first.
+	as.Map(4, page(4), proc)
+	as.Map(5, page(5), proc)
+	if !as.PTE(0).Present() {
+		t.Fatal("active page reclaimed while inactive candidates existed")
+	}
+}
+
+func TestAgingDemotesActivePages(t *testing.T) {
+	mm, _, proc, _ := fixture(16)
+	as := mm.NewAddressSpace(1)
+	for v := uint64(0); v < 12; v++ {
+		as.Map(v, page(byte(v)), proc)
+		as.Read(v, proc)
+		as.Read(v, proc) // all active
+	}
+	if mm.ActivePages() != 12 {
+		t.Fatalf("active = %d", mm.ActivePages())
+	}
+	// Reclaim must age pages down rather than failing.
+	for v := uint64(12); v < 20; v++ {
+		if err := as.Map(v, page(byte(v)), proc); err != nil {
+			t.Fatalf("map %d: %v", v, err)
+		}
+	}
+	if mm.Stats().Deactivations == 0 {
+		t.Fatal("no aging happened under pressure")
+	}
+	if mm.Stats().SwapOuts == 0 {
+		t.Fatal("no reclaim happened")
+	}
+}
+
+func TestReclaimFallsBackToActiveList(t *testing.T) {
+	// All pages active: reclaim must still find victims (last resort).
+	mm, _, proc, _ := fixture(2)
+	as := mm.NewAddressSpace(1)
+	as.Map(0, page(0), proc)
+	as.Map(1, page(1), proc)
+	as.Read(0, proc)
+	as.Read(0, proc)
+	as.Read(1, proc)
+	as.Read(1, proc)
+	if err := as.Map(2, page(2), proc); err != nil {
+		t.Fatalf("alloc with all-active pool failed: %v", err)
+	}
+}
+
+func TestSwapReadahead(t *testing.T) {
+	mm, _, proc, _ := fixture(32)
+	mm.ReadaheadPages = 4
+	as := mm.NewAddressSpace(1)
+	// Map 16 pages, then force them all out with churn.
+	for v := uint64(0); v < 16; v++ {
+		as.Map(v, page(byte(v)), proc)
+	}
+	other := mm.NewAddressSpace(2)
+	for v := uint64(0); v < 30; v++ {
+		other.Map(v, page(0xEE), proc)
+		if v >= 16 {
+			other.Unmap(v - 16)
+		}
+	}
+	// Some of as's pages are swapped now; sequential access should cluster.
+	swapped := 0
+	for v := uint64(0); v < 16; v++ {
+		if !as.PTE(v).Present() {
+			swapped++
+		}
+	}
+	if swapped < 8 {
+		t.Skipf("only %d pages swapped; churn too weak", swapped)
+	}
+	before := mm.Stats()
+	for v := uint64(0); v < 16; v++ {
+		got, err := as.Read(v, proc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(v) {
+			t.Fatalf("page %d corrupted through readahead", v)
+		}
+	}
+	st := mm.Stats()
+	if st.ReadaheadLoads == 0 {
+		t.Fatal("no readahead happened")
+	}
+	if st.ReadaheadHits == 0 {
+		t.Fatal("no faults were absorbed by readahead")
+	}
+	// Majors + readahead hits should cover the swapped set; majors must be
+	// well below the swapped count (that is the point of clustering).
+	majors := st.MajorFaults - before.MajorFaults
+	if int(majors) >= swapped {
+		t.Fatalf("majors = %d of %d swapped; readahead ineffective", majors, swapped)
+	}
+}
+
+func TestReadaheadRespectsPressure(t *testing.T) {
+	mm, _, proc, _ := fixture(4)
+	mm.ReadaheadPages = 8
+	as := mm.NewAddressSpace(1)
+	for v := uint64(0); v < 8; v++ {
+		as.Map(v, page(byte(v)), proc)
+	}
+	// Memory is fully pressured (free <= LowWM): faults must not prefetch.
+	for v := uint64(0); v < 8; v++ {
+		as.Read(v, proc)
+	}
+	if mm.Stats().ReadaheadLoads != 0 {
+		t.Fatal("readahead must not run under memory pressure")
+	}
+}

@@ -1,0 +1,94 @@
+package kernel
+
+import (
+	"repro/internal/sim"
+)
+
+// Kswapd is the background reclaim daemon: woken when free memory falls
+// below the low watermark, it swaps out LRU pages until free memory exceeds
+// the high watermark (§VI-A's asynchronous background path), then sleeps.
+//
+// It runs as a sim.Proc pinned to a core, so its control-plane work (and,
+// with the cpu-* backend, compression work) steals cycles from whatever
+// shares that core — the interference the paper measures.
+type Kswapd struct {
+	eng  *sim.Engine
+	mm   *MM
+	proc *sim.Proc
+
+	running bool
+	// BatchPause is an optional pause between reclaim batches, modeling
+	// cond_resched yields.
+	BatchPause sim.Time
+	// BatchSize is how many pages are reclaimed per scheduling quantum:
+	// the daemon holds the CPU for up to this many CPU-bound reclaims
+	// before a cond_resched point. An offload backend that makes the
+	// daemon sleep (§VI-A step 3) yields the CPU after every page.
+	BatchSize int
+
+	wakeups uint64
+	stopped bool
+}
+
+// NewKswapd builds the daemon on core (a sim.Resource run queue) and wires
+// the MM's wake hook to it.
+func NewKswapd(eng *sim.Engine, mm *MM, core *sim.Resource) *Kswapd {
+	k := &Kswapd{
+		eng:        eng,
+		mm:         mm,
+		proc:       sim.NewProc(eng, "kswapd", core),
+		BatchPause: 2 * sim.Microsecond,
+		BatchSize:  4,
+	}
+	mm.KswapdWake = k.Wake
+	return k
+}
+
+// Proc exposes the daemon's process (for inspecting its local clock).
+func (k *Kswapd) Proc() *sim.Proc { return k.proc }
+
+// Wakeups reports how many times the daemon was woken.
+func (k *Kswapd) Wakeups() uint64 { return k.wakeups }
+
+// Stop prevents further reclaim activity (end of experiment).
+func (k *Kswapd) Stop() { k.stopped = true }
+
+// Wake starts a reclaim cycle if one is not already running.
+func (k *Kswapd) Wake() {
+	if k.running || k.stopped {
+		return
+	}
+	k.running = true
+	k.wakeups++
+	k.proc.AdvanceTo(k.eng.Now())
+	k.proc.Schedule(k.step)
+}
+
+// step reclaims up to BatchSize pages within one scheduling quantum. A
+// CPU-bound backend (cpu-zswap) fills the whole quantum, stalling
+// co-runners on the shared core — the §VII interference. An offload
+// backend makes the daemon sleep while the device works, which is a yield:
+// the quantum ends immediately and co-runners interleave per page.
+func (k *Kswapd) step(p *sim.Proc) {
+	if k.stopped {
+		k.running = false
+		return
+	}
+	for i := 0; i < k.BatchSize; i++ {
+		if k.mm.AboveHigh() {
+			k.running = false
+			return
+		}
+		ok, slept := k.mm.ReclaimOne(p)
+		if !ok {
+			k.running = false
+			return
+		}
+		k.mm.stats.BackgroundReclaims++
+		if slept {
+			break // yielded to the device: preemption point
+		}
+	}
+	p.Sleep(k.BatchPause)
+	p.Schedule(k.step)
+}

@@ -1,0 +1,377 @@
+package ksm
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/phys"
+	"repro/internal/sim"
+	"repro/internal/timing"
+	"repro/internal/xxhash"
+)
+
+// fakeBackend computes instantly with tiny fixed costs.
+type fakeBackend struct {
+	checksums int
+	compares  int
+}
+
+func (f *fakeBackend) Name() string    { return "fake" }
+func (f *fakeBackend) Offloaded() bool { return false }
+
+func (f *fakeBackend) Checksum(page []byte, src phys.Addr, now sim.Time) ChecksumResult {
+	f.checksums++
+	return ChecksumResult{
+		Sum:     xxhash.PageChecksum(page),
+		Done:    now + sim.Microsecond,
+		HostCPU: sim.Microsecond,
+	}
+}
+
+func (f *fakeBackend) Compare(a, b []byte, aAddr, bAddr phys.Addr, now sim.Time) CompareResult {
+	f.compares++
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	diff := n
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			diff = i
+			break
+		}
+	}
+	return CompareResult{FirstDiff: diff, Done: now + sim.Microsecond/2, HostCPU: sim.Microsecond / 2}
+}
+
+type fix struct {
+	mm      *kernel.MM
+	scanner *Scanner
+	proc    *sim.Proc
+	eng     *sim.Engine
+	backend *fakeBackend
+}
+
+func newFix(t *testing.T, totalPages int) *fix {
+	t.Helper()
+	p := timing.Default()
+	eng := sim.NewEngine()
+	mm := kernel.NewMM(p, mem.NewStore("host"), 0, totalPages)
+	mm.SetSwap(kernel.NewBackingSwap(sim.Microsecond, sim.Microsecond))
+	fb := &fakeBackend{}
+	return &fix{
+		mm:      mm,
+		scanner: NewScanner(mm, fb),
+		proc:    sim.NewProc(eng, "ksmd", nil),
+		eng:     eng,
+		backend: fb,
+	}
+}
+
+func page(b byte) []byte {
+	d := make([]byte, phys.PageSize)
+	for i := range d {
+		d[i] = b
+	}
+	return d
+}
+
+// vmWith maps n pages of the given contents into a fresh address space.
+func (f *fix) vmWith(t *testing.T, id int, pages ...[]byte) *kernel.AddressSpace {
+	t.Helper()
+	as := f.mm.NewAddressSpace(id)
+	for i, pg := range pages {
+		if err := as.Map(uint64(i), pg, f.proc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.scanner.RegisterRange(as, 0, len(pages))
+	return as
+}
+
+// scanUntilStable runs full scans until no new merges happen. ksm needs at
+// least two passes: one to record checksums, later ones to merge.
+func (f *fix) scanUntilStable() int {
+	total := 0
+	for i := 0; i < 6; i++ {
+		m := f.scanner.FullScan(f.proc)
+		total += m
+		if i > 0 && m == 0 {
+			break
+		}
+	}
+	return total
+}
+
+func TestMergeIdenticalPagesAcrossVMs(t *testing.T) {
+	f := newFix(t, 64)
+	// Two VMs with the same "OS code" page (the §VI-B motivation).
+	a := f.vmWith(t, 1, page(0xAA), page(0x01))
+	b := f.vmWith(t, 2, page(0xAA), page(0x02))
+	merged := f.scanUntilStable()
+	if merged != 1 {
+		t.Fatalf("merged = %d, want 1", merged)
+	}
+	if a.PTE(0).Frame != b.PTE(0).Frame {
+		t.Fatal("identical pages not sharing a frame")
+	}
+	if a.PTE(0).Writable || b.PTE(0).Writable {
+		t.Fatal("merged pages must be CoW-protected")
+	}
+	if !a.PTE(0).Frame.KsmStable {
+		t.Fatal("merged frame must be stable-tree owned")
+	}
+	// Distinct pages untouched.
+	if a.PTE(1).Frame == b.PTE(1).Frame {
+		t.Fatal("different pages merged")
+	}
+	// One frame was freed.
+	if f.mm.FreePages() != 64-3 {
+		t.Fatalf("free pages = %d, want 61", f.mm.FreePages())
+	}
+}
+
+func TestMergePreservesContent(t *testing.T) {
+	f := newFix(t, 64)
+	content := page(0x5E)
+	a := f.vmWith(t, 1, content)
+	b := f.vmWith(t, 2, content)
+	f.scanUntilStable()
+	ga, _ := a.Read(0, f.proc)
+	gb, _ := b.Read(0, f.proc)
+	if !bytes.Equal(ga, content) || !bytes.Equal(gb, content) {
+		t.Fatal("merge corrupted content")
+	}
+}
+
+func TestManyVMsMergeIntoOneStableFrame(t *testing.T) {
+	f := newFix(t, 128)
+	spaces := make([]*kernel.AddressSpace, 8)
+	for i := range spaces {
+		spaces[i] = f.vmWith(t, i+1, page(0x42))
+	}
+	f.scanUntilStable()
+	frame := spaces[0].PTE(0).Frame
+	for i, as := range spaces {
+		if as.PTE(0).Frame != frame {
+			t.Fatalf("VM %d not sharing", i)
+		}
+	}
+	st := f.scanner.Stats()
+	if st.PagesShared != 1 {
+		t.Fatalf("PagesShared = %d, want 1", st.PagesShared)
+	}
+	if st.PagesSharing != 8 {
+		t.Fatalf("PagesSharing = %d, want 8", st.PagesSharing)
+	}
+	// 7 frames reclaimed.
+	if f.mm.FreePages() != 128-1 {
+		t.Fatalf("free = %d, want 127", f.mm.FreePages())
+	}
+}
+
+func TestChangingPageIsSkipped(t *testing.T) {
+	f := newFix(t, 64)
+	a := f.vmWith(t, 1, page(0x10))
+	b := f.vmWith(t, 2, page(0x10))
+	// First scan records checksums.
+	f.scanner.FullScan(f.proc)
+	// Mutate a's page between scans: checksum changes, merge deferred.
+	a.Write(0, page(0x11), f.proc)
+	m := f.scanner.FullScan(f.proc)
+	if m != 0 {
+		t.Fatal("changing page should not merge")
+	}
+	if f.scanner.Stats().ChecksumSkips == 0 {
+		t.Fatal("checksum skip not counted")
+	}
+	_ = b
+}
+
+func TestCoWBreakAfterMerge(t *testing.T) {
+	f := newFix(t, 64)
+	a := f.vmWith(t, 1, page(0x33))
+	b := f.vmWith(t, 2, page(0x33))
+	f.scanUntilStable()
+	if a.PTE(0).Frame != b.PTE(0).Frame {
+		t.Fatal("not merged")
+	}
+	// b writes: CoW break; a unaffected.
+	if err := b.Write(0, page(0x44), f.proc); err != nil {
+		t.Fatal(err)
+	}
+	ga, _ := a.Read(0, f.proc)
+	gb, _ := b.Read(0, f.proc)
+	if ga[0] != 0x33 || gb[0] != 0x44 {
+		t.Fatalf("CoW break corrupted: a=%#x b=%#x", ga[0], gb[0])
+	}
+	if a.PTE(0).Frame == b.PTE(0).Frame {
+		t.Fatal("still sharing after write")
+	}
+}
+
+func TestThirdPageMergesIntoStableTree(t *testing.T) {
+	f := newFix(t, 64)
+	f.vmWith(t, 1, page(0x77))
+	f.vmWith(t, 2, page(0x77))
+	f.scanUntilStable()
+	before := f.scanner.Stats()
+	// A third VM arrives with the same content: merges via the stable tree
+	// (PagesMerged), not a new unstable promotion.
+	c := f.vmWith(t, 3, page(0x77))
+	f.scanUntilStable()
+	after := f.scanner.Stats()
+	if after.PagesMerged != before.PagesMerged+1 {
+		t.Fatalf("stable merges: %d → %d", before.PagesMerged, after.PagesMerged)
+	}
+	if after.NewStable != before.NewStable {
+		t.Fatal("should not create a second stable node")
+	}
+	if !c.PTE(0).Frame.KsmStable {
+		t.Fatal("third VM not on the stable frame")
+	}
+}
+
+func TestMultipleDistinctContentsFormSeparateNodes(t *testing.T) {
+	f := newFix(t, 128)
+	contents := []byte{0x01, 0x02, 0x03, 0x04}
+	for i := 0; i < 8; i++ {
+		f.vmWith(t, i+1, page(contents[i%4]))
+	}
+	f.scanUntilStable()
+	st := f.scanner.Stats()
+	if st.PagesShared != 4 {
+		t.Fatalf("PagesShared = %d, want 4 stable nodes", st.PagesShared)
+	}
+	if st.PagesSharing != 8 {
+		t.Fatalf("PagesSharing = %d, want 8", st.PagesSharing)
+	}
+}
+
+func TestSwappedPagesAreSkipped(t *testing.T) {
+	f := newFix(t, 4)
+	a := f.vmWith(t, 1, page(0x21), page(0x22), page(0x23), page(0x24))
+	// Exhaust memory so an extra map swaps a page out.
+	as2 := f.mm.NewAddressSpace(2)
+	if err := as2.Map(0, page(0x99), f.proc); err != nil {
+		t.Fatal(err)
+	}
+	// Scanning must not fault pages back in or crash.
+	before := f.mm.Stats().SwapIns
+	f.scanner.FullScan(f.proc)
+	if f.mm.Stats().SwapIns != before {
+		t.Fatal("ksm must not fault swapped pages in")
+	}
+	_ = a
+}
+
+func TestStatsAndStringer(t *testing.T) {
+	f := newFix(t, 64)
+	f.vmWith(t, 1, page(1))
+	f.vmWith(t, 2, page(1))
+	f.scanUntilStable()
+	st := f.scanner.Stats()
+	if st.FullScans == 0 || st.PagesScanned == 0 || st.Compares == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.HostCPU <= 0 {
+		t.Fatal("host CPU not accounted")
+	}
+	if s := f.scanner.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+	if f.scanner.Registered() != 2 {
+		t.Fatalf("registered = %d", f.scanner.Registered())
+	}
+}
+
+func TestScanOneEmptyScannerIsSafe(t *testing.T) {
+	f := newFix(t, 8)
+	if f.scanner.ScanOne(f.proc) {
+		t.Fatal("empty scanner merged something")
+	}
+	if f.scanner.FullScan(f.proc) != 0 {
+		t.Fatal("empty full scan merged something")
+	}
+}
+
+func TestDaemonScansPeriodically(t *testing.T) {
+	f := newFix(t, 64)
+	f.vmWith(t, 1, page(0x61))
+	f.vmWith(t, 2, page(0x61))
+	core := sim.NewResource("core")
+	d := NewDaemon(f.eng, f.scanner, core)
+	d.PagesPerBatch = 2
+	d.SleepBetween = sim.Millisecond
+	d.Start()
+	f.eng.RunUntil(20 * sim.Millisecond)
+	d.Stop()
+	f.eng.Run()
+	if d.Batches() < 3 {
+		t.Fatalf("batches = %d", d.Batches())
+	}
+	st := f.scanner.Stats()
+	if st.NewStable != 1 {
+		t.Fatalf("daemon did not merge: %+v", st)
+	}
+	// Daemon consumed core time.
+	if core.Busy() <= 0 {
+		t.Fatal("ksmd consumed no CPU")
+	}
+}
+
+func TestMergedFrameNotReclaimed(t *testing.T) {
+	// ksm-stable frames must not be chosen by reclaim (they'd lose shared
+	// data tracking).
+	f := newFix(t, 4)
+	a := f.vmWith(t, 1, page(0x71))
+	b := f.vmWith(t, 2, page(0x71))
+	f.scanUntilStable()
+	stable := a.PTE(0).Frame
+	// Force heavy reclaim.
+	as3 := f.mm.NewAddressSpace(3)
+	for v := uint64(0); v < 3; v++ {
+		if err := as3.Map(v, page(byte(v)), f.proc); err != nil {
+			break
+		}
+	}
+	if a.PTE(0).Frame != stable && b.PTE(0).Frame != stable {
+		t.Skip("stable frame was swapped, acceptable in overload")
+	}
+	if !stable.KsmStable {
+		t.Fatal("stable flag lost")
+	}
+}
+
+func TestUnregisterSpace(t *testing.T) {
+	f := newFix(t, 64)
+	a := f.vmWith(t, 1, page(0x55), page(0x56))
+	b := f.vmWith(t, 2, page(0x55))
+	if f.scanner.Registered() != 3 {
+		t.Fatalf("registered = %d", f.scanner.Registered())
+	}
+	f.scanUntilStable()
+	removed := f.scanner.UnregisterSpace(a)
+	if removed != 2 || f.scanner.Registered() != 1 {
+		t.Fatalf("removed %d, left %d", removed, f.scanner.Registered())
+	}
+	// Scanning continues safely on the remaining VM.
+	for i := 0; i < 10; i++ {
+		f.scanner.ScanOne(f.proc)
+	}
+	// Existing merges still unwind via CoW.
+	if err := b.Write(0, page(0x66), f.proc); err != nil {
+		t.Fatal(err)
+	}
+	ga, _ := a.Read(0, f.proc)
+	if ga[0] != 0x55 {
+		t.Fatal("CoW unwind corrupted the unregistered VM")
+	}
+	// Unregistering an unknown space is a no-op.
+	other := f.mm.NewAddressSpace(99)
+	if f.scanner.UnregisterSpace(other) != 0 {
+		t.Fatal("phantom removal")
+	}
+}

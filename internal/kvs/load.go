@@ -1,0 +1,134 @@
+package kvs
+
+import (
+	"math/rand"
+
+	"repro/internal/kernel"
+	"repro/internal/lzc"
+	"repro/internal/phys"
+	"repro/internal/sim"
+	"repro/internal/ycsb"
+)
+
+// LoadGen drives a set of servers with an open-loop Poisson request stream
+// — the YCSB-client side of §VII. Arrivals are scheduled on the engine so
+// request handling interleaves with kswapd/ksmd activity in simulated time.
+type LoadGen struct {
+	eng     *sim.Engine
+	servers []*Server
+	gen     *ycsb.Generator
+	rng     *rand.Rand
+	// RatePerSec is the aggregate arrival rate across all servers.
+	RatePerSec float64
+	next       int
+	stopped    bool
+}
+
+// NewLoadGen builds a Poisson load generator at ratePerSec aggregate ops/s.
+func NewLoadGen(eng *sim.Engine, servers []*Server, gen *ycsb.Generator, ratePerSec float64, seed int64) *LoadGen {
+	if len(servers) == 0 || ratePerSec <= 0 {
+		panic("kvs: servers and positive rate required")
+	}
+	return &LoadGen{
+		eng:        eng,
+		servers:    servers,
+		gen:        gen,
+		rng:        rand.New(rand.NewSource(seed)),
+		RatePerSec: ratePerSec,
+	}
+}
+
+// Start schedules the arrival process beginning at the engine's current
+// time; it continues until Stop or the horizon passed to RunFor.
+func (l *LoadGen) Start() {
+	l.stopped = false
+	l.scheduleNext(l.eng.Now())
+}
+
+// Stop halts further arrivals.
+func (l *LoadGen) Stop() { l.stopped = true }
+
+func (l *LoadGen) scheduleNext(now sim.Time) {
+	gap := sim.Time(l.rng.ExpFloat64() / l.RatePerSec * float64(sim.Second))
+	if gap < sim.Nanosecond {
+		gap = sim.Nanosecond
+	}
+	l.eng.At(now+gap, func() {
+		if l.stopped {
+			return
+		}
+		op := l.gen.Next()
+		s := l.servers[l.next%len(l.servers)]
+		l.next++
+		s.Serve(op, l.eng.Now())
+		l.scheduleNext(l.eng.Now())
+	})
+}
+
+// Antagonist is the memory-churning co-runner of the zswap experiment: it
+// periodically allocates fresh pages and frees old ones, keeping the system
+// under the reclaim watermarks so kswapd stays busy.
+type Antagonist struct {
+	eng  *sim.Engine
+	proc *sim.Proc
+	as   *kernel.AddressSpace
+	rng  *rand.Rand
+
+	// PagesPerBurst allocations happen every Interval.
+	PagesPerBurst int
+	Interval      sim.Time
+	// Keep bounds the working set: older pages are unmapped beyond it.
+	Keep int
+
+	nextVPN uint64
+	stopped bool
+}
+
+// PollutedLines reports the cumulative LLC displacement of the antagonist's
+// page churn (each fresh page streams through the cache).
+func (a *Antagonist) PollutedLines() uint64 { return a.nextVPN * phys.LinesPerPage }
+
+// NewAntagonist builds the churner on core (its allocations' direct-reclaim
+// work runs there).
+func NewAntagonist(eng *sim.Engine, as *kernel.AddressSpace, core *sim.Resource, seed int64) *Antagonist {
+	return &Antagonist{
+		eng:           eng,
+		proc:          sim.NewProc(eng, "antagonist", core),
+		as:            as,
+		rng:           rand.New(rand.NewSource(seed)),
+		PagesPerBurst: 16,
+		Interval:      500 * sim.Microsecond,
+		Keep:          256,
+	}
+}
+
+// Start begins the churn loop.
+func (a *Antagonist) Start() {
+	a.stopped = false
+	a.proc.AdvanceTo(a.eng.Now())
+	a.proc.Schedule(a.step)
+}
+
+// Stop halts the loop.
+func (a *Antagonist) Stop() { a.stopped = true }
+
+// Allocated reports how many pages the antagonist has mapped so far.
+func (a *Antagonist) Allocated() uint64 { return a.nextVPN }
+
+func (a *Antagonist) step(p *sim.Proc) {
+	if a.stopped {
+		return
+	}
+	page := lzc.SyntheticPage(a.rng, phys.PageSize, 0.7)
+	for i := 0; i < a.PagesPerBurst; i++ {
+		if err := a.as.Map(a.nextVPN, page, p); err != nil {
+			break // OOM under extreme pressure: retry next burst
+		}
+		a.nextVPN++
+		if a.nextVPN > uint64(a.Keep) {
+			a.as.Unmap(a.nextVPN - uint64(a.Keep) - 1)
+		}
+	}
+	p.Sleep(a.Interval)
+	p.Schedule(a.step)
+}

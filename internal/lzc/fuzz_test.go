@@ -1,0 +1,51 @@
+package lzc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecompress exercises the decompressor with arbitrary bytes: it must
+// never panic, and any input it accepts must round-trip back through
+// Compress to an equal compressed form's decompression (self-consistency).
+func FuzzDecompress(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x50, 'a', 'b', 'c', 'd', 'e'})
+	f.Add(Compress(nil, bytes.Repeat([]byte("seed"), 64)))
+	f.Add([]byte{0xF0, 0xFF, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dst := make([]byte, 4096)
+		n, err := Decompress(dst, data)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		if n < 0 || n > len(dst) {
+			t.Fatalf("accepted input produced out-of-range n=%d", n)
+		}
+		// Whatever it produced must be reproducible from a clean compress.
+		comp := Compress(nil, dst[:n])
+		out := make([]byte, n)
+		m, err := Decompress(out, comp)
+		if err != nil || m != n || !bytes.Equal(out, dst[:n]) {
+			t.Fatalf("self-consistency broken: %v n=%d m=%d", err, n, m)
+		}
+	})
+}
+
+// FuzzCompressRoundTrip: any input must compress and decompress to itself.
+func FuzzCompressRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"))
+	f.Add(bytes.Repeat([]byte{0}, 5000))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		comp := Compress(nil, data)
+		if len(comp) > CompressBound(len(data)) {
+			t.Fatalf("compressed %d exceeds bound %d", len(comp), CompressBound(len(data)))
+		}
+		out := make([]byte, len(data))
+		n, err := Decompress(out, comp)
+		if err != nil || n != len(data) || !bytes.Equal(out, data) {
+			t.Fatalf("round trip failed: %v n=%d", err, n)
+		}
+	})
+}

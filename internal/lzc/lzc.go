@@ -1,0 +1,238 @@
+// Package lzc implements an LZ77 byte-oriented block compressor using the
+// LZ4 block format (token / literals / 16-bit offset / match extension).
+//
+// zswap in the paper compresses 4 KB pages before placing them in the zpool
+// (§VI-A); the kernel uses lzo/lz4-class compressors for this. lzc is the
+// from-scratch equivalent used by every zswap backend in this repo — the
+// host-CPU software path and the simulated device compression IP run the
+// same codec, so compressed pages written through the simulated CXL device
+// decompress back to the original bytes and the experiment is verifiable
+// end to end.
+package lzc
+
+import (
+	"errors"
+	"fmt"
+)
+
+const (
+	minMatch = 4 // smallest encodable match
+	// lastLiterals: the final 5 bytes of a block must be literals, and a
+	// match may not start within the last 12 bytes (mmlimit), per the LZ4
+	// block-format rules. Keeping them makes the format authentic and the
+	// decompressor simpler.
+	lastLiterals = 5
+	mfLimit      = 12
+
+	hashLog  = 13
+	hashSize = 1 << hashLog
+)
+
+// ErrCorrupt is returned by Decompress when the input is not a valid block.
+var ErrCorrupt = errors.New("lzc: corrupt compressed block")
+
+// ErrDstTooSmall is returned by Decompress when the output does not fit in
+// the provided buffer.
+var ErrDstTooSmall = errors.New("lzc: destination buffer too small")
+
+// CompressBound returns the maximum compressed size for an input of length n
+// (incompressible data expands slightly).
+func CompressBound(n int) int { return n + n/255 + 16 }
+
+func hash4(u uint32) uint32 {
+	return (u * 2654435761) >> (32 - hashLog)
+}
+
+func load32(b []byte, i int) uint32 {
+	return uint32(b[i]) | uint32(b[i+1])<<8 | uint32(b[i+2])<<16 | uint32(b[i+3])<<24
+}
+
+// Compress appends the compressed form of src to dst and returns the
+// extended slice. An empty src produces an empty block.
+func Compress(dst, src []byte) []byte {
+	if len(src) == 0 {
+		return dst
+	}
+	if len(src) < mfLimit+minMatch {
+		// Too short to contain any match: emit one literal run.
+		return emitSequence(dst, src, 0, 0)
+	}
+
+	var table [hashSize]int32 // position+1 of last occurrence of each hash; 0 = empty
+	anchor := 0               // start of pending literals
+	i := 0
+	limit := len(src) - mfLimit
+
+	for i <= limit {
+		h := hash4(load32(src, i))
+		cand := int(table[h]) - 1
+		table[h] = int32(i + 1)
+		if cand < 0 || i-cand > 65535 || load32(src, cand) != load32(src, i) {
+			i++
+			continue
+		}
+		// Extend the match forward; stop so the block ends with literals.
+		matchLen := minMatch
+		maxLen := len(src) - lastLiterals - i
+		for matchLen < maxLen && src[cand+matchLen] == src[i+matchLen] {
+			matchLen++
+		}
+		if matchLen < minMatch {
+			i++
+			continue
+		}
+		dst = emitSequence(dst, src[anchor:i], i-cand, matchLen)
+		i += matchLen
+		anchor = i
+	}
+	if anchor < len(src) {
+		dst = emitSequence(dst, src[anchor:], 0, 0)
+	}
+	return dst
+}
+
+// emitSequence appends one LZ4 sequence: token, extended literal length,
+// literal bytes, and (when matchLen > 0) the 2-byte offset and extended
+// match length. matchLen == 0 marks the final literals-only sequence.
+func emitSequence(dst, literals []byte, offset, matchLen int) []byte {
+	litLen := len(literals)
+	var token byte
+	if litLen >= 15 {
+		token = 15 << 4
+	} else {
+		token = byte(litLen) << 4
+	}
+	if matchLen > 0 {
+		ml := matchLen - minMatch
+		if ml >= 15 {
+			token |= 15
+		} else {
+			token |= byte(ml)
+		}
+	}
+	dst = append(dst, token)
+	if litLen >= 15 {
+		dst = appendLenExt(dst, litLen-15)
+	}
+	dst = append(dst, literals...)
+	if matchLen > 0 {
+		dst = append(dst, byte(offset), byte(offset>>8))
+		if ml := matchLen - minMatch; ml >= 15 {
+			dst = appendLenExt(dst, ml-15)
+		}
+	}
+	return dst
+}
+
+func appendLenExt(dst []byte, rem int) []byte {
+	for rem >= 255 {
+		dst = append(dst, 255)
+		rem -= 255
+	}
+	return append(dst, byte(rem))
+}
+
+// Decompress expands a block produced by Compress into dst, which must be
+// exactly the size of the original input. It returns the number of bytes
+// written, ErrCorrupt for malformed input, or ErrDstTooSmall when the block
+// expands beyond len(dst).
+func Decompress(dst, src []byte) (int, error) {
+	di, si := 0, 0
+	for si < len(src) {
+		token := src[si]
+		si++
+		// Literals.
+		litLen := int(token >> 4)
+		if litLen == 15 {
+			n, adv, err := readLenExt(src[si:])
+			if err != nil {
+				return 0, err
+			}
+			litLen += n
+			si += adv
+		}
+		if si+litLen > len(src) {
+			return 0, ErrCorrupt
+		}
+		if di+litLen > len(dst) {
+			return 0, ErrDstTooSmall
+		}
+		copy(dst[di:], src[si:si+litLen])
+		di += litLen
+		si += litLen
+		if si == len(src) {
+			// Final literals-only sequence.
+			return di, nil
+		}
+		// Match.
+		if si+2 > len(src) {
+			return 0, ErrCorrupt
+		}
+		offset := int(src[si]) | int(src[si+1])<<8
+		si += 2
+		if offset == 0 || offset > di {
+			return 0, ErrCorrupt
+		}
+		matchLen := int(token&0x0F) + minMatch
+		if token&0x0F == 15 {
+			n, adv, err := readLenExt(src[si:])
+			if err != nil {
+				return 0, err
+			}
+			matchLen += n
+			si += adv
+		}
+		if di+matchLen > len(dst) {
+			return 0, ErrDstTooSmall
+		}
+		// Overlapping copy must run byte-by-byte (RLE-style matches).
+		for k := 0; k < matchLen; k++ {
+			dst[di] = dst[di-offset]
+			di++
+		}
+	}
+	return di, nil
+}
+
+func readLenExt(src []byte) (n, adv int, err error) {
+	for {
+		if adv >= len(src) {
+			return 0, 0, ErrCorrupt
+		}
+		b := src[adv]
+		adv++
+		n += int(b)
+		if b != 255 {
+			return n, adv, nil
+		}
+	}
+}
+
+// Ratio reports original/compressed size; >1 means the data compressed.
+func Ratio(originalLen, compressedLen int) float64 {
+	if compressedLen == 0 {
+		return 0
+	}
+	return float64(originalLen) / float64(compressedLen)
+}
+
+// Validate round-trips data through Compress/Decompress and returns an error
+// if the result differs — used by integration tests and the device-IP model
+// self-check.
+func Validate(data []byte) error {
+	comp := Compress(nil, data)
+	out := make([]byte, len(data))
+	n, err := Decompress(out, comp)
+	if err != nil {
+		return fmt.Errorf("decompress: %w", err)
+	}
+	if n != len(data) {
+		return fmt.Errorf("round-trip length %d, want %d", n, len(data))
+	}
+	for i := range data {
+		if out[i] != data[i] {
+			return fmt.Errorf("round-trip mismatch at byte %d", i)
+		}
+	}
+	return nil
+}

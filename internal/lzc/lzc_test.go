@@ -1,0 +1,238 @@
+package lzc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, data []byte) []byte {
+	t.Helper()
+	comp := Compress(nil, data)
+	out := make([]byte, len(data))
+	n, err := Decompress(out, comp)
+	if err != nil {
+		t.Fatalf("Decompress(%d bytes): %v", len(data), err)
+	}
+	if n != len(data) {
+		t.Fatalf("round-trip length = %d, want %d", n, len(data))
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatalf("round-trip mismatch for %d-byte input", len(data))
+	}
+	return comp
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	comp := Compress(nil, nil)
+	if len(comp) != 0 {
+		t.Fatalf("empty input compressed to %d bytes", len(comp))
+	}
+	n, err := Decompress(nil, comp)
+	if err != nil || n != 0 {
+		t.Fatalf("Decompress(empty) = %d, %v", n, err)
+	}
+}
+
+func TestRoundTripShortInputs(t *testing.T) {
+	for n := 1; n <= 32; n++ {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		roundTrip(t, data)
+	}
+}
+
+func TestRoundTripRepetitive(t *testing.T) {
+	data := bytes.Repeat([]byte("abcd"), 1024) // 4 KB, very compressible
+	comp := roundTrip(t, data)
+	if len(comp) >= len(data)/10 {
+		t.Fatalf("repetitive 4KB compressed to %d bytes; expected < 10%%", len(comp))
+	}
+}
+
+func TestRoundTripZeroPage(t *testing.T) {
+	data := make([]byte, 4096)
+	comp := roundTrip(t, data)
+	if len(comp) > 64 {
+		t.Fatalf("zero page compressed to %d bytes", len(comp))
+	}
+}
+
+func TestRoundTripRandomIncompressible(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 4096)
+	rng.Read(data)
+	comp := roundTrip(t, data)
+	if len(comp) > CompressBound(len(data)) {
+		t.Fatalf("compressed size %d exceeds bound %d", len(comp), CompressBound(len(data)))
+	}
+	if len(comp) < len(data)*9/10 {
+		t.Fatalf("random data should not compress well, got %d from %d", len(comp), len(data))
+	}
+}
+
+func TestRoundTripLongLiteralRuns(t *testing.T) {
+	// >15 literals triggers the length-extension path; >270 needs multiple
+	// 255 extension bytes.
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{16, 255, 256, 270, 271, 1000} {
+		data := make([]byte, n)
+		rng.Read(data)
+		roundTrip(t, data)
+	}
+}
+
+func TestRoundTripLongMatch(t *testing.T) {
+	// A very long match (>19+254) triggers match-length extension bytes.
+	data := append([]byte("0123456789abcdef"), bytes.Repeat([]byte{0x7}, 2000)...)
+	data = append(data, []byte("tail-literals")...)
+	roundTrip(t, data)
+}
+
+func TestRoundTripOverlappingMatch(t *testing.T) {
+	// offset 1 (RLE) forces the overlapping-copy path.
+	data := append([]byte{0xAA}, bytes.Repeat([]byte{0xAA}, 100)...)
+	data = append(data, 1, 2, 3, 4, 5)
+	roundTrip(t, data)
+}
+
+func TestRoundTripQuickProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		comp := Compress(nil, data)
+		out := make([]byte, len(data))
+		n, err := Decompress(out, comp)
+		return err == nil && n == len(data) && bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressAppends(t *testing.T) {
+	prefix := []byte("hdr:")
+	data := bytes.Repeat([]byte("xy"), 100)
+	out := Compress(prefix, data)
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatal("Compress must append to dst")
+	}
+	n, err := Decompress(make([]byte, len(data)), out[len(prefix):])
+	if err != nil || n != len(data) {
+		t.Fatalf("decompress after append: %d, %v", n, err)
+	}
+}
+
+func TestDecompressCorruptInputs(t *testing.T) {
+	cases := [][]byte{
+		{0xF0},                  // promises 15+ext literals, no extension byte
+		{0x50, 'a', 'b'},        // promises 5 literals, only 2 present
+		{0x04, 0x00, 0x00},      // match with offset 0
+		{0x14, 'x', 0x09, 0x00}, // offset 9 > produced 1 literal
+		{0x1F, 'x', 0x01, 0x00}, // match-length extension missing
+	}
+	for i, c := range cases {
+		if _, err := Decompress(make([]byte, 64), c); err == nil {
+			t.Errorf("case %d: corrupt input accepted", i)
+		}
+	}
+}
+
+func TestDecompressDstTooSmall(t *testing.T) {
+	data := bytes.Repeat([]byte("abcd"), 64)
+	comp := Compress(nil, data)
+	if _, err := Decompress(make([]byte, 10), comp); err != ErrDstTooSmall {
+		t.Fatalf("err = %v, want ErrDstTooSmall", err)
+	}
+	// Literal run overflow too.
+	comp2 := Compress(nil, []byte{1, 2, 3, 4, 5})
+	if _, err := Decompress(make([]byte, 2), comp2); err != ErrDstTooSmall {
+		t.Fatalf("literal overflow err = %v, want ErrDstTooSmall", err)
+	}
+}
+
+func TestDecompressRandomGarbageNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dst := make([]byte, 4096)
+	for i := 0; i < 2000; i++ {
+		garbage := make([]byte, rng.Intn(128))
+		rng.Read(garbage)
+		Decompress(dst, garbage) // must not panic; error or success both fine
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(bytes.Repeat([]byte("zswap"), 500)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(4096, 1024); got != 4 {
+		t.Fatalf("Ratio = %v", got)
+	}
+	if got := Ratio(100, 0); got != 0 {
+		t.Fatalf("Ratio with zero = %v", got)
+	}
+}
+
+func TestCompressBoundHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(8192)
+		data := make([]byte, n)
+		rng.Read(data)
+		if got := len(Compress(nil, data)); got > CompressBound(n) {
+			t.Fatalf("compressed %d > bound %d for n=%d", got, CompressBound(n), n)
+		}
+	}
+}
+
+func TestSyntheticPageCompressibilityDial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sizeAt := func(c float64) int {
+		total := 0
+		for i := 0; i < 8; i++ {
+			p := SyntheticPage(rng, 4096, c)
+			if len(p) != 4096 {
+				t.Fatalf("page size = %d", len(p))
+			}
+			total += len(Compress(nil, p))
+		}
+		return total / 8
+	}
+	low := sizeAt(0.05)  // barely compressible
+	mid := sizeAt(0.5)   // mixed
+	high := sizeAt(0.95) // highly compressible
+	if !(high < mid && mid < low) {
+		t.Fatalf("compressed sizes not monotone in dial: %d %d %d", low, mid, high)
+	}
+	// And every synthetic page round-trips.
+	for _, c := range []float64{-1, 0, 0.3, 0.7, 1, 2} {
+		if err := Validate(SyntheticPage(rng, 4096, c)); err != nil {
+			t.Fatalf("dial %v: %v", c, err)
+		}
+	}
+}
+
+func BenchmarkCompress4K(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	page := SyntheticPage(rng, 4096, 0.6)
+	buf := make([]byte, 0, CompressBound(4096))
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		Compress(buf[:0], page)
+	}
+}
+
+func BenchmarkDecompress4K(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	page := SyntheticPage(rng, 4096, 0.6)
+	comp := Compress(nil, page)
+	out := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		Decompress(out, comp)
+	}
+}

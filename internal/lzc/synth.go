@@ -1,0 +1,40 @@
+package lzc
+
+import "math/rand"
+
+// SyntheticPage fills a 4 KB-style page whose compressibility is tunable.
+// compressibility in [0,1]: 0 yields near-incompressible random bytes, 1
+// yields a highly repetitive page (~zero-page). Real swap candidates sit in
+// between; the paper's zswap experiments rely on pages compressing enough to
+// be worth pooling, so workload generators use mid-range values.
+func SyntheticPage(rng *rand.Rand, size int, compressibility float64) []byte {
+	if compressibility < 0 {
+		compressibility = 0
+	}
+	if compressibility > 1 {
+		compressibility = 1
+	}
+	page := make([]byte, size)
+	// Strategy: alternate runs of a repeated motif (compressible) with runs
+	// of random bytes, in proportion to the dial.
+	motif := []byte{0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77}
+	i := 0
+	for i < size {
+		run := 32 + rng.Intn(96)
+		if i+run > size {
+			run = size - i
+		}
+		if rng.Float64() < compressibility {
+			m := motif[rng.Intn(len(motif))]
+			for j := 0; j < run; j++ {
+				page[i+j] = m
+			}
+		} else {
+			for j := 0; j < run; j++ {
+				page[i+j] = byte(rng.Intn(256))
+			}
+		}
+		i += run
+	}
+	return page
+}

@@ -1,0 +1,211 @@
+package offload
+
+import (
+	"fmt"
+
+	"repro/internal/cxl"
+	"repro/internal/ksm"
+	"repro/internal/pcie"
+	"repro/internal/phys"
+	"repro/internal/sim"
+	"repro/internal/timing"
+	"repro/internal/xxhash"
+)
+
+// NewKsmBackend returns the ksm data-plane backend for the variant.
+func NewKsmBackend(v Variant, pl *Platform) ksm.Backend {
+	switch v {
+	case CPU:
+		return &cpuKsm{pl: pl}
+	case PCIeRDMA:
+		return &rdmaKsm{pl: pl}
+	case PCIeDMA:
+		return &dmaKsm{pl: pl}
+	case CXL:
+		return &cxlKsm{pl: pl}
+	default:
+		panic(fmt.Sprintf("offload: unknown variant %v", v))
+	}
+}
+
+// ksmBatch is the offload batching factor for the PCIe backends: the
+// SNIC/FPGA ksm offload queues a batch of candidate pages per doorbell and
+// raises one completion interrupt per batch (as the STYX-style offload
+// does), so the host-side post/interrupt cost is amortized across the
+// batch.
+const ksmBatch = 32
+
+// firstDiff is the shared functional comparison.
+func firstDiff(a, b []byte) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// comparedBytes is how much of the pages a first-difference comparison
+// actually examines.
+func comparedBytes(a []byte, diff int) int {
+	if diff >= len(a) {
+		return len(a)
+	}
+	return diff + 1
+}
+
+// ---------- cpu-ksm ----------
+
+type cpuKsm struct{ pl *Platform }
+
+func (b *cpuKsm) Name() string    { return "cpu-ksm" }
+func (b *cpuKsm) Offloaded() bool { return false }
+
+func (b *cpuKsm) Checksum(page []byte, src phys.Addr, now sim.Time) ksm.ChecksumResult {
+	cost := b.pl.P.SW.HostHash4K
+	return ksm.ChecksumResult{
+		Sum:           xxhash.PageChecksum(page),
+		Done:          now + cost,
+		HostCPU:       cost,
+		PollutedLines: phys.LinesPerPage,
+	}
+}
+
+func (b *cpuKsm) Compare(a, bb []byte, aAddr, bAddr phys.Addr, now sim.Time) ksm.CompareResult {
+	diff := firstDiff(a, bb)
+	frac := float64(comparedBytes(a, diff)) / float64(phys.PageSize)
+	cost := sim.Time(float64(b.pl.P.SW.HostCompare4K) * frac)
+	return ksm.CompareResult{
+		FirstDiff:     diff,
+		Done:          now + cost,
+		HostCPU:       cost,
+		PollutedLines: 2 * comparedBytes(a, diff) / phys.LineSize,
+	}
+}
+
+// ---------- pcie-rdma-ksm ----------
+
+type rdmaKsm struct{ pl *Platform }
+
+func (b *rdmaKsm) Name() string    { return "pcie-rdma-ksm" }
+func (b *rdmaKsm) Offloaded() bool { return true }
+
+func (b *rdmaKsm) Checksum(page []byte, src phys.Addr, now sim.Time) ksm.ChecksumResult {
+	p := b.pl.P
+	t := now + p.PCIe.RDMAPost
+	in := b.pl.EP.RDMATransfer(phys.PageSize, t, pcie.D2H)
+	done := in.Done + p.SW.ArmHash4K + p.PCIe.InterruptCost/ksmBatch
+	return ksm.ChecksumResult{
+		Sum:           xxhash.PageChecksum(page),
+		Done:          done,
+		HostCPU:       (p.PCIe.RDMAPost + p.PCIe.InterruptCost) / ksmBatch,
+		PollutedLines: 2,
+	}
+}
+
+func (b *rdmaKsm) Compare(a, bb []byte, aAddr, bAddr phys.Addr, now sim.Time) ksm.CompareResult {
+	p := b.pl.P
+	diff := firstDiff(a, bb)
+	t := now + p.PCIe.RDMAPost
+	in := b.pl.EP.RDMATransfer(2*phys.PageSize, t, pcie.D2H)
+	frac := float64(comparedBytes(a, diff)) / float64(phys.PageSize)
+	compute := sim.Time(float64(p.SW.ArmCompare4K) * frac)
+	done := in.Done + compute + p.PCIe.InterruptCost/ksmBatch
+	return ksm.CompareResult{
+		FirstDiff:     diff,
+		Done:          done,
+		HostCPU:       (p.PCIe.RDMAPost + p.PCIe.InterruptCost) / ksmBatch,
+		PollutedLines: 2,
+	}
+}
+
+// ---------- pcie-dma-ksm ----------
+
+type dmaKsm struct{ pl *Platform }
+
+func (b *dmaKsm) Name() string    { return "pcie-dma-ksm" }
+func (b *dmaKsm) Offloaded() bool { return true }
+
+func (b *dmaKsm) Checksum(page []byte, src phys.Addr, now sim.Time) ksm.ChecksumResult {
+	p := b.pl.P
+	in := b.pl.EP.DMATransfer(phys.PageSize, now, false)
+	compute := timing.Streaming(phys.PageSize, p.Device.HashBytesPerSec)
+	done := in.Done + compute + p.PCIe.InterruptCost/ksmBatch
+	return ksm.ChecksumResult{
+		Sum:           xxhash.PageChecksum(page),
+		Done:          done,
+		HostCPU:       (in.HostCPU + p.PCIe.InterruptCost) / ksmBatch,
+		PollutedLines: 2,
+	}
+}
+
+func (b *dmaKsm) Compare(a, bb []byte, aAddr, bAddr phys.Addr, now sim.Time) ksm.CompareResult {
+	p := b.pl.P
+	diff := firstDiff(a, bb)
+	in := b.pl.EP.DMATransfer(2*phys.PageSize, now, false)
+	compute := timing.Streaming(2*comparedBytes(a, diff), p.Device.CompareBytesPerSec)
+	done := in.Done + compute + p.PCIe.InterruptCost/ksmBatch
+	return ksm.CompareResult{
+		FirstDiff:     diff,
+		Done:          done,
+		HostCPU:       (in.HostCPU + p.PCIe.InterruptCost) / ksmBatch,
+		PollutedLines: 2,
+	}
+}
+
+// ---------- cxl-ksm ----------
+
+// cxlKsm uses the Fig. 7 doorbell protocol. Per §VI-B the D2H transfer is
+// pipelined with the byte comparison, while the checksum must wait for the
+// full page; results return via NC-P.
+type cxlKsm struct{ pl *Platform }
+
+func (b *cxlKsm) Name() string    { return "cxl-ksm" }
+func (b *cxlKsm) Offloaded() bool { return true }
+
+func (b *cxlKsm) Checksum(page []byte, src phys.Addr, now sim.Time) ksm.ChecksumResult {
+	p := b.pl.P
+	cmdAt, hostCPU := b.pl.doorbell(now)
+	// Full page must arrive before hashing starts (§VI-B).
+	readDone := b.pl.Dev.ReadHostBlock(cxl.NCRead, src, phys.PageSize, nil, cmdAt)
+	hashDone := readDone + timing.Streaming(phys.PageSize, p.Device.HashBytesPerSec)
+	res := b.pl.Dev.D2H(cxl.NCP, src, nil, hashDone)
+	pollLat, pollCPU := b.pl.resultPoll()
+	return ksm.ChecksumResult{
+		Sum:           xxhash.PageChecksum(page),
+		Done:          res.Done + pollLat,
+		HostCPU:       hostCPU + pollCPU,
+		PollutedLines: 1,
+	}
+}
+
+func (b *cxlKsm) Compare(a, bb []byte, aAddr, bAddr phys.Addr, now sim.Time) ksm.CompareResult {
+	p := b.pl.P
+	diff := firstDiff(a, bb)
+	n := comparedBytes(a, diff)
+	cmdAt, hostCPU := b.pl.doorbell(now)
+	// The comparison streams as lines arrive: transfer only what is
+	// compared (early-out), from both pages, pipelined with the compare IP.
+	span := (n + phys.LineSize - 1) &^ (phys.LineSize - 1)
+	readDone := b.pl.Dev.ReadHostBlock(cxl.NCRead, src2(aAddr, bAddr), 2*span, nil, cmdAt)
+	compDone := cmdAt + timing.Streaming(2*n, p.Device.CompareBytesPerSec)
+	stage := max(readDone, compDone)
+	res := b.pl.Dev.D2H(cxl.NCP, aAddr, nil, stage)
+	pollLat, pollCPU := b.pl.resultPoll()
+	return ksm.CompareResult{
+		FirstDiff:     diff,
+		Done:          res.Done + pollLat,
+		HostCPU:       hostCPU + pollCPU,
+		PollutedLines: 1,
+	}
+}
+
+// src2 picks a representative source for the interleaved two-page read
+// stream (timing only; the functional comparison uses the real bytes).
+func src2(a, b phys.Addr) phys.Addr {
+	if a != 0 {
+		return a
+	}
+	return b
+}

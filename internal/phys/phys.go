@@ -1,0 +1,57 @@
+// Package phys defines the physical address vocabulary shared by every
+// memory-system component: addresses, cache-line and page geometry, and
+// address-range helpers.
+package phys
+
+import "fmt"
+
+// Addr is a physical address in the simulated system's unified address
+// space. Host DRAM, device memory (the CXL HPA window) and MMIO regions all
+// live in this one space, exactly as CXL.mem exposes device memory to the
+// host (§II-B).
+type Addr uint64
+
+// LineSize is the cache-line and CXL-transfer granule (64 B).
+const LineSize = 64
+
+// PageSize is the OS page granule used by the kernel-feature models (4 KiB).
+const PageSize = 4096
+
+// LinesPerPage is PageSize / LineSize.
+const LinesPerPage = PageSize / LineSize
+
+// LineAddr returns a rounded down to its cache-line base.
+func LineAddr(a Addr) Addr { return a &^ (LineSize - 1) }
+
+// PageAddr returns a rounded down to its page base.
+func PageAddr(a Addr) Addr { return a &^ (PageSize - 1) }
+
+// LineOffset returns the offset of a within its cache line.
+func LineOffset(a Addr) int { return int(a & (LineSize - 1)) }
+
+// String formats the address in hex.
+func (a Addr) String() string { return fmt.Sprintf("%#x", uint64(a)) }
+
+// Range is a half-open physical address interval [Base, Base+Size).
+type Range struct {
+	Base Addr
+	Size uint64
+}
+
+// Contains reports whether a falls inside the range.
+func (r Range) Contains(a Addr) bool {
+	return a >= r.Base && uint64(a-r.Base) < r.Size
+}
+
+// End returns the first address past the range.
+func (r Range) End() Addr { return r.Base + Addr(r.Size) }
+
+// Overlaps reports whether two ranges intersect.
+func (r Range) Overlaps(o Range) bool {
+	return r.Base < o.End() && o.Base < r.End()
+}
+
+// String formats the range.
+func (r Range) String() string {
+	return fmt.Sprintf("[%v, %v)", r.Base, r.End())
+}

@@ -1,0 +1,234 @@
+// Package stats provides the measurement plumbing used by every experiment:
+// exact sample sets with percentile/median/stddev queries, fixed-bucket
+// latency histograms, and small formatting helpers for reporting
+// paper-style numbers (medians over >=1K repetitions, p99 tail latency,
+// normalized ratios).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates float64 observations and answers order statistics
+// exactly. It is the right tool for the microbenchmark experiments, which
+// follow the paper's methodology of repeating each measurement >= 1K times
+// and reporting the median with a standard-deviation error bar.
+type Sample struct {
+	xs     []float64
+	sorted bool
+	sum    float64
+	sumSq  float64
+}
+
+// NewSample returns an empty sample, optionally pre-sized.
+func NewSample(capacity int) *Sample {
+	return &Sample{xs: make([]float64, 0, capacity)}
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+	s.sum += x
+	s.sumSq += x * x
+}
+
+// N reports the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean reports the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.xs))
+}
+
+// StdDev reports the population standard deviation, or 0 for fewer than two
+// observations.
+func (s *Sample) StdDev() float64 {
+	n := float64(len(s.xs))
+	if n < 2 {
+		return 0
+	}
+	mean := s.sum / n
+	v := s.sumSq/n - mean*mean
+	if v < 0 { // numerical noise
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Quantile reports the q-quantile (0 <= q <= 1) using linear interpolation
+// between closest ranks. It panics on an empty sample or q outside [0,1].
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		panic("stats: quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of range", q))
+	}
+	s.ensureSorted()
+	if len(s.xs) == 1 {
+		return s.xs[0]
+	}
+	pos := q * float64(len(s.xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := pos - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Median reports the 0.5-quantile.
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// P99 reports the 0.99-quantile — the paper's tail-latency metric (§VII).
+func (s *Sample) P99() float64 { return s.Quantile(0.99) }
+
+// Min reports the smallest observation; it panics on an empty sample.
+func (s *Sample) Min() float64 {
+	s.ensureSorted()
+	return s.xs[0]
+}
+
+// Max reports the largest observation; it panics on an empty sample.
+func (s *Sample) Max() float64 {
+	s.ensureSorted()
+	return s.xs[len(s.xs)-1]
+}
+
+// Values returns a copy of the raw observations (unsorted order not
+// guaranteed).
+func (s *Sample) Values() []float64 {
+	out := make([]float64, len(s.xs))
+	copy(out, s.xs)
+	return out
+}
+
+// Reset discards all observations, keeping capacity.
+func (s *Sample) Reset() {
+	s.xs = s.xs[:0]
+	s.sorted = false
+	s.sum, s.sumSq = 0, 0
+}
+
+// Summary is a compact set of order statistics, convenient for table rows.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Median float64
+	P99    float64
+	Max    float64
+}
+
+// Summarize computes a Summary; an empty sample yields a zero Summary.
+func (s *Sample) Summarize() Summary {
+	if len(s.xs) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:      s.N(),
+		Mean:   s.Mean(),
+		StdDev: s.StdDev(),
+		Min:    s.Min(),
+		Median: s.Median(),
+		P99:    s.P99(),
+		Max:    s.Max(),
+	}
+}
+
+// Histogram is a fixed-width-bucket latency histogram with an overflow
+// bucket, for cheap online tail tracking in long KVS runs.
+type Histogram struct {
+	bucketWidth float64
+	counts      []uint64
+	overflow    uint64
+	n           uint64
+}
+
+// NewHistogram creates a histogram covering [0, bucketWidth*buckets) with an
+// overflow bucket beyond.
+func NewHistogram(bucketWidth float64, buckets int) *Histogram {
+	if bucketWidth <= 0 || buckets <= 0 {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{bucketWidth: bucketWidth, counts: make([]uint64, buckets)}
+}
+
+// Add records one observation (negative values clamp to bucket 0).
+func (h *Histogram) Add(x float64) {
+	h.n++
+	if x < 0 {
+		h.counts[0]++
+		return
+	}
+	i := int(x / h.bucketWidth)
+	if i >= len(h.counts) {
+		h.overflow++
+		return
+	}
+	h.counts[i]++
+}
+
+// N reports the number of observations.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Quantile reports an upper bound for the q-quantile (the right edge of the
+// bucket containing it). Overflowed quantiles return +Inf.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		panic("stats: quantile of empty histogram")
+	}
+	if q < 0 || q > 1 {
+		panic("stats: quantile out of range")
+	}
+	target := uint64(math.Ceil(q * float64(h.n)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return float64(i+1) * h.bucketWidth
+		}
+	}
+	return math.Inf(1)
+}
+
+// Ratio returns a/b, guarding against a zero denominator.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return math.Inf(1)
+	}
+	return a / b
+}
+
+// PctHigher reports how much higher a is than b, in percent: 100*(a-b)/b.
+func PctHigher(a, b float64) float64 { return 100 * (a - b) / b }
+
+// PctLower reports how much lower a is than b, in percent: 100*(b-a)/b.
+func PctLower(a, b float64) float64 { return 100 * (b - a) / b }
+
+// Within reports whether got is within tol (a fraction, e.g. 0.25 for ±25%)
+// of want. Used by the paper-shape calibration tests.
+func Within(got, want, tol float64) bool {
+	if want == 0 {
+		return math.Abs(got) <= tol
+	}
+	return math.Abs(got-want) <= math.Abs(want)*tol
+}

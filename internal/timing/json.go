@@ -1,0 +1,55 @@
+package timing
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Params is JSON-serializable (sim.Time fields marshal as picosecond
+// integers), so calibration studies can sweep parameter sets without
+// recompiling: dump the defaults, edit, reload.
+
+// Save writes the parameters as indented JSON.
+func (p *Params) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// SaveFile writes the parameters to a file.
+func (p *Params) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return p.Save(f)
+}
+
+// Load reads parameters from JSON, starting from the calibrated defaults
+// so partial files override only the fields they mention. The result is
+// validated.
+func Load(r io.Reader) (*Params, error) {
+	p := Default()
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(p); err != nil {
+		return nil, fmt.Errorf("timing: %w", err)
+	}
+	if msg := p.Validate(); msg != "" {
+		return nil, fmt.Errorf("%s", msg)
+	}
+	return p, nil
+}
+
+// LoadFile reads parameters from a JSON file.
+func LoadFile(path string) (*Params, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,26 @@
+package xxhash
+
+import "testing"
+
+// FuzzSumConsistency checks structural hash properties on arbitrary input:
+// determinism, and incremental-length inputs never colliding with their
+// own prefixes (a weak but useful avalanche sanity check).
+func FuzzSumConsistency(f *testing.F) {
+	f.Add([]byte("seed"), uint32(0))
+	f.Add([]byte{}, uint32(42))
+	f.Fuzz(func(t *testing.T, data []byte, seed uint32) {
+		h1 := Sum32(data, seed)
+		h2 := Sum32(append([]byte(nil), data...), seed)
+		if h1 != h2 {
+			t.Fatal("Sum32 not deterministic")
+		}
+		if len(data) > 0 {
+			if Sum32(data[:len(data)-1], seed) == h1 && Sum32(append(data, 0x9E), seed) == h1 {
+				t.Fatal("prefix and extension both collide — broken mixing")
+			}
+		}
+		if Sum64(data, uint64(seed)) != Sum64(data, uint64(seed)) {
+			t.Fatal("Sum64 not deterministic")
+		}
+	})
+}

@@ -1,0 +1,142 @@
+// Package xxhash implements the xxHash non-cryptographic hash family
+// (XXH32 and XXH64) from the published algorithm specification.
+//
+// The paper's ksm offload computes a 32-bit xxhash over each scanned page as
+// a change hint (§VI-B, citing Collet's xxHash); this package provides that
+// exact function for both the software (host-CPU) path and the simulated
+// device IP, so the two paths are verifiably equivalent.
+package xxhash
+
+import "math/bits"
+
+// XXH32 primes, from the reference specification.
+const (
+	prime32x1 uint32 = 2654435761
+	prime32x2 uint32 = 2246822519
+	prime32x3 uint32 = 3266489917
+	prime32x4 uint32 = 668265263
+	prime32x5 uint32 = 374761393
+)
+
+// XXH64 primes, from the reference specification.
+const (
+	prime64x1 uint64 = 11400714785074694791
+	prime64x2 uint64 = 14029467366897019727
+	prime64x3 uint64 = 1609587929392839161
+	prime64x4 uint64 = 9650029242287828579
+	prime64x5 uint64 = 2870177450012600261
+)
+
+func u32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func u64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func round32(acc, lane uint32) uint32 {
+	return bits.RotateLeft32(acc+lane*prime32x2, 13) * prime32x1
+}
+
+// Sum32 computes the 32-bit xxHash of data with the given seed.
+func Sum32(data []byte, seed uint32) uint32 {
+	n := len(data)
+	var h uint32
+	p := data
+	if n >= 16 {
+		v1 := seed + prime32x1 + prime32x2
+		v2 := seed + prime32x2
+		v3 := seed
+		v4 := seed - prime32x1
+		for len(p) >= 16 {
+			v1 = round32(v1, u32(p[0:4]))
+			v2 = round32(v2, u32(p[4:8]))
+			v3 = round32(v3, u32(p[8:12]))
+			v4 = round32(v4, u32(p[12:16]))
+			p = p[16:]
+		}
+		h = bits.RotateLeft32(v1, 1) + bits.RotateLeft32(v2, 7) +
+			bits.RotateLeft32(v3, 12) + bits.RotateLeft32(v4, 18)
+	} else {
+		h = seed + prime32x5
+	}
+	h += uint32(n)
+	for len(p) >= 4 {
+		h = bits.RotateLeft32(h+u32(p)*prime32x3, 17) * prime32x4
+		p = p[4:]
+	}
+	for _, b := range p {
+		h = bits.RotateLeft32(h+uint32(b)*prime32x5, 11) * prime32x1
+	}
+	h ^= h >> 15
+	h *= prime32x2
+	h ^= h >> 13
+	h *= prime32x3
+	h ^= h >> 16
+	return h
+}
+
+func round64(acc, lane uint64) uint64 {
+	return bits.RotateLeft64(acc+lane*prime64x2, 31) * prime64x1
+}
+
+func mergeRound64(acc, val uint64) uint64 {
+	acc ^= round64(0, val)
+	return acc*prime64x1 + prime64x4
+}
+
+// Sum64 computes the 64-bit xxHash of data with the given seed.
+func Sum64(data []byte, seed uint64) uint64 {
+	n := len(data)
+	var h uint64
+	p := data
+	if n >= 32 {
+		v1 := seed + prime64x1 + prime64x2
+		v2 := seed + prime64x2
+		v3 := seed
+		v4 := seed - prime64x1
+		for len(p) >= 32 {
+			v1 = round64(v1, u64(p[0:8]))
+			v2 = round64(v2, u64(p[8:16]))
+			v3 = round64(v3, u64(p[16:24]))
+			v4 = round64(v4, u64(p[24:32]))
+			p = p[32:]
+		}
+		h = bits.RotateLeft64(v1, 1) + bits.RotateLeft64(v2, 7) +
+			bits.RotateLeft64(v3, 12) + bits.RotateLeft64(v4, 18)
+		h = mergeRound64(h, v1)
+		h = mergeRound64(h, v2)
+		h = mergeRound64(h, v3)
+		h = mergeRound64(h, v4)
+	} else {
+		h = seed + prime64x5
+	}
+	h += uint64(n)
+	for len(p) >= 8 {
+		h ^= round64(0, u64(p))
+		h = bits.RotateLeft64(h, 27)*prime64x1 + prime64x4
+		p = p[8:]
+	}
+	if len(p) >= 4 {
+		h ^= uint64(u32(p)) * prime64x1
+		h = bits.RotateLeft64(h, 23)*prime64x2 + prime64x3
+		p = p[4:]
+	}
+	for _, b := range p {
+		h ^= uint64(b) * prime64x5
+		h = bits.RotateLeft64(h, 11) * prime64x1
+	}
+	h ^= h >> 33
+	h *= prime64x2
+	h ^= h >> 29
+	h *= prime64x3
+	h ^= h >> 32
+	return h
+}
+
+// PageChecksum computes the 32-bit change hint ksm stores per scanned page.
+// It matches the kernel's calc_checksum: xxhash of the full page with seed 0,
+// truncated to 32 bits via Sum32 directly.
+func PageChecksum(page []byte) uint32 { return Sum32(page, 0) }

@@ -1,0 +1,215 @@
+// Package ycsb implements the YCSB core workloads the paper drives Redis
+// with (§VII): A (update heavy, 50/50), B (read heavy, 95/5), C (read
+// only) and D (read latest, 95/5 insert), with uniform (the paper's
+// choice), zipfian and latest request distributions.
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Workload identifies a YCSB core workload.
+type Workload uint8
+
+// The four workloads of Fig. 8.
+const (
+	A Workload = iota // 50% read, 50% update
+	B                 // 95% read, 5% update
+	C                 // 100% read
+	D                 // 95% read, 5% insert (read latest)
+)
+
+// String names the workload.
+func (w Workload) String() string {
+	if w > D {
+		return fmt.Sprintf("Workload(%d)", uint8(w))
+	}
+	return string('A' + rune(w))
+}
+
+// Workloads lists all four in presentation order.
+func Workloads() []Workload { return []Workload{A, B, C, D} }
+
+// OpKind is a generated operation type.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	Read OpKind = iota
+	Update
+	Insert
+)
+
+// String names the kind.
+func (k OpKind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Update:
+		return "update"
+	case Insert:
+		return "insert"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is one generated request.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+}
+
+// Distribution selects how keys are chosen.
+type Distribution uint8
+
+// Key distributions.
+const (
+	// Uniform is what the paper uses ("we use a uniform distribution for
+	// key values").
+	Uniform Distribution = iota
+	// Zipfian is YCSB's default skewed chooser.
+	Zipfian
+	// Latest skews toward recently inserted records (used by workload D).
+	Latest
+)
+
+// Generator produces a YCSB request stream.
+type Generator struct {
+	w       Workload
+	dist    Distribution
+	rng     *rand.Rand
+	records uint64
+	zipf    *zipfGen
+}
+
+// NewGenerator builds a generator over an initial record count.
+func NewGenerator(w Workload, dist Distribution, records uint64, seed int64) (*Generator, error) {
+	if records == 0 {
+		return nil, fmt.Errorf("ycsb: records must be positive")
+	}
+	if w > D {
+		return nil, fmt.Errorf("ycsb: unknown workload %d", w)
+	}
+	g := &Generator{w: w, dist: dist, rng: rand.New(rand.NewSource(seed)), records: records}
+	if dist == Zipfian {
+		g.zipf = newZipf(records, 0.99)
+	}
+	return g, nil
+}
+
+// MustNewGenerator is NewGenerator for static configurations.
+func MustNewGenerator(w Workload, dist Distribution, records uint64, seed int64) *Generator {
+	g, err := NewGenerator(w, dist, records, seed)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Records reports the current record count (grows with inserts).
+func (g *Generator) Records() uint64 { return g.records }
+
+// Next produces the next operation.
+func (g *Generator) Next() Op {
+	switch g.w {
+	case A:
+		if g.rng.Float64() < 0.5 {
+			return Op{Kind: Update, Key: g.key()}
+		}
+	case B:
+		if g.rng.Float64() < 0.05 {
+			return Op{Kind: Update, Key: g.key()}
+		}
+	case C:
+		// read only
+	case D:
+		if g.rng.Float64() < 0.05 {
+			g.records++
+			return Op{Kind: Insert, Key: g.records - 1}
+		}
+		return Op{Kind: Read, Key: g.latestKey()}
+	}
+	return Op{Kind: Read, Key: g.key()}
+}
+
+func (g *Generator) key() uint64 {
+	switch g.dist {
+	case Uniform:
+		return uint64(g.rng.Int63n(int64(g.records)))
+	case Zipfian:
+		return g.zipf.next(g.rng) % g.records
+	case Latest:
+		return g.latestKey()
+	default:
+		panic("ycsb: unknown distribution")
+	}
+}
+
+// latestKey skews toward the most recently inserted records.
+func (g *Generator) latestKey() uint64 {
+	// Exponential decay from the newest record.
+	back := uint64(g.rng.ExpFloat64() * float64(g.records) / 20)
+	if back >= g.records {
+		back = g.records - 1
+	}
+	return g.records - 1 - back
+}
+
+// zipfGen is the YCSB/Gray zipfian generator over [0, n).
+type zipfGen struct {
+	n               uint64
+	theta           float64
+	alpha, zetan    float64
+	eta, zeta2theta float64
+}
+
+func newZipf(n uint64, theta float64) *zipfGen {
+	z := &zipfGen{n: n, theta: theta}
+	z.zeta2theta = zetaStatic(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.zetan = zetaStatic(n, theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2theta/z.zetan)
+	return z
+}
+
+func zetaStatic(n uint64, theta float64) float64 {
+	// Cap the sum for very large n: the tail contributes negligibly and the
+	// generators here use n <= a few million.
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+func (z *zipfGen) next(rng *rand.Rand) uint64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// Mix reports the nominal read/update/insert fractions of a workload, for
+// documentation and tests.
+func Mix(w Workload) (read, update, insert float64) {
+	switch w {
+	case A:
+		return 0.5, 0.5, 0
+	case B:
+		return 0.95, 0.05, 0
+	case C:
+		return 1, 0, 0
+	case D:
+		return 0.95, 0, 0.05
+	default:
+		return 0, 0, 0
+	}
+}

@@ -1,0 +1,135 @@
+package ycsb
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWorkloadNames(t *testing.T) {
+	if A.String() != "A" || B.String() != "B" || C.String() != "C" || D.String() != "D" {
+		t.Fatal("workload names wrong")
+	}
+	if len(Workloads()) != 4 {
+		t.Fatal("Workloads() wrong")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if Read.String() != "read" || Update.String() != "update" || Insert.String() != "insert" {
+		t.Fatal("op kind names wrong")
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(A, Uniform, 0, 1); err == nil {
+		t.Fatal("zero records accepted")
+	}
+	if _, err := NewGenerator(Workload(9), Uniform, 10, 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestWorkloadMixes(t *testing.T) {
+	const n = 100000
+	for _, w := range Workloads() {
+		g := MustNewGenerator(w, Uniform, 1000, 42)
+		var reads, updates, inserts int
+		for i := 0; i < n; i++ {
+			switch g.Next().Kind {
+			case Read:
+				reads++
+			case Update:
+				updates++
+			case Insert:
+				inserts++
+			}
+		}
+		wantR, wantU, wantI := Mix(w)
+		checkFrac(t, w.String()+" reads", reads, n, wantR)
+		checkFrac(t, w.String()+" updates", updates, n, wantU)
+		checkFrac(t, w.String()+" inserts", inserts, n, wantI)
+	}
+}
+
+func checkFrac(t *testing.T, name string, got, n int, want float64) {
+	t.Helper()
+	frac := float64(got) / float64(n)
+	if math.Abs(frac-want) > 0.01 {
+		t.Errorf("%s fraction = %.3f, want %.2f", name, frac, want)
+	}
+}
+
+func TestUniformKeysCoverSpace(t *testing.T) {
+	g := MustNewGenerator(C, Uniform, 100, 7)
+	seen := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		op := g.Next()
+		if op.Key >= 100 {
+			t.Fatalf("key %d out of range", op.Key)
+		}
+		seen[op.Key] = true
+	}
+	if len(seen) < 95 {
+		t.Fatalf("uniform chooser covered only %d/100 keys", len(seen))
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	g := MustNewGenerator(C, Zipfian, 1000, 3)
+	counts := make([]int, 1000)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Key]++
+	}
+	// The hottest key should take far more than the uniform share, and the
+	// top 10% of keys should dominate.
+	if counts[0] < n/100 {
+		t.Fatalf("key 0 count = %d; zipfian should be hot", counts[0])
+	}
+	top := 0
+	for i := 0; i < 100; i++ {
+		top += counts[i]
+	}
+	if float64(top)/float64(n) < 0.5 {
+		t.Fatalf("top-10%% keys got only %.1f%% of traffic", 100*float64(top)/float64(n))
+	}
+}
+
+func TestInsertGrowsRecordSpace(t *testing.T) {
+	g := MustNewGenerator(D, Uniform, 100, 5)
+	before := g.Records()
+	for i := 0; i < 10000; i++ {
+		g.Next()
+	}
+	if g.Records() <= before {
+		t.Fatal("workload D inserts must grow the record count")
+	}
+}
+
+func TestLatestSkewsToNewRecords(t *testing.T) {
+	g := MustNewGenerator(D, Latest, 10000, 9)
+	var recent, total int
+	for i := 0; i < 50000; i++ {
+		op := g.Next()
+		if op.Kind != Read {
+			continue
+		}
+		total++
+		if op.Key >= g.Records()-g.Records()/5 {
+			recent++
+		}
+	}
+	if frac := float64(recent) / float64(total); frac < 0.8 {
+		t.Fatalf("latest distribution: only %.2f of reads in newest 20%%", frac)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	g1 := MustNewGenerator(A, Zipfian, 500, 11)
+	g2 := MustNewGenerator(A, Zipfian, 500, 11)
+	for i := 0; i < 1000; i++ {
+		if g1.Next() != g2.Next() {
+			t.Fatal("same seed must produce the same stream")
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package cxl2sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/stats"
+)
+
+// This file provides the paper's §V microbenchmark methodology as a public
+// API: issue N requests, record the issue time of the first and the
+// completion of the Nth (the memo-style measurement), with explicit control
+// over the cache placement being measured (LLC-1/LLC-0, DMC-1/DMC-0,
+// HMC warm/cold).
+
+// Placement primes where the target lines sit before each measurement.
+type Placement uint8
+
+// Placements.
+const (
+	// PlaceCold leaves every cache cold (LLC-0 / DMC-0 / HMC miss).
+	PlaceCold Placement = iota
+	// PlaceLLC demotes the lines into host LLC (the paper's CLDEMOTE
+	// priming; LLC-1).
+	PlaceLLC
+	// PlaceHMC warms the device's host-memory cache with CS-reads.
+	PlaceHMC
+	// PlaceDMC warms the device-memory cache with CS-reads (DMC-1).
+	PlaceDMC
+)
+
+// String names the placement.
+func (p Placement) String() string {
+	switch p {
+	case PlaceCold:
+		return "cold"
+	case PlaceLLC:
+		return "LLC-1"
+	case PlaceHMC:
+		return "HMC-1"
+	case PlaceDMC:
+		return "DMC-1"
+	default:
+		return fmt.Sprintf("Placement(%d)", uint8(p))
+	}
+}
+
+// Measurement is a microbenchmark outcome: median single-access latency
+// (over Reps repetitions) and the bandwidth of Burst back-to-back accesses,
+// following the §V methodology.
+type Measurement struct {
+	MedianNs     float64
+	StdDevNs     float64
+	BandwidthGBs float64
+	Reps, Burst  int
+}
+
+// MeasureSpec configures a measurement; zero values take the paper's
+// settings (1000 reps, 16-access bursts).
+type MeasureSpec struct {
+	Reps  int
+	Burst int
+	Place Placement
+}
+
+func (m *MeasureSpec) setDefaults() {
+	if m.Reps == 0 {
+		m.Reps = 1000
+	}
+	if m.Burst == 0 {
+		m.Burst = 16
+	}
+}
+
+// hostProbe returns the i-th distinct host line of the measurement stream.
+func hostProbe(i int) Addr {
+	return Addr(0x0400_0000) + Addr((i*2654435761)%(1<<20))*LineSize
+}
+
+// devProbe returns the i-th distinct device line.
+func devProbe(i int) Addr {
+	return DeviceMemoryBase + Addr(2<<20) + Addr((i*2654435761)%(1<<18))*LineSize
+}
+
+// MeasureD2H measures a D2H request type against host memory with the
+// given placement (PlaceCold, PlaceLLC or PlaceHMC).
+func (s *System) MeasureD2H(req D2HReq, spec MeasureSpec) (Measurement, error) {
+	spec.setDefaults()
+	prime := func(addr Addr) {
+		switch spec.Place {
+		case PlaceCold:
+			s.Host.LLC().Invalidate(addr)
+			s.Dev.HMC().Invalidate(addr)
+		case PlaceLLC:
+			s.Host.Core(0).CLDemote(addr, cache.Exclusive, nil, 0)
+			s.Dev.HMC().Invalidate(addr)
+		case PlaceHMC:
+			s.Dev.D2H(CSRead, addr, nil, 0)
+			s.Host.LLC().Invalidate(addr)
+		default:
+			return
+		}
+	}
+	if spec.Place == PlaceDMC {
+		return Measurement{}, fmt.Errorf("cxl2sim: PlaceDMC does not apply to D2H")
+	}
+	lat := stats.NewSample(spec.Reps)
+	for rep := 0; rep < spec.Reps; rep++ {
+		addr := hostProbe(rep)
+		prime(addr)
+		s.ResetTiming()
+		lat.Add(s.Dev.D2H(req, addr, nil, 0).Done.Nanoseconds())
+	}
+	base := spec.Reps + 1
+	for i := 0; i < spec.Burst; i++ {
+		prime(hostProbe(base + i))
+	}
+	s.ResetTiming()
+	var last Time
+	for i := 0; i < spec.Burst; i++ {
+		if r := s.Dev.D2H(req, hostProbe(base+i), nil, 0); r.Done > last {
+			last = r.Done
+		}
+	}
+	return Measurement{
+		MedianNs:     lat.Median(),
+		StdDevNs:     lat.StdDev(),
+		BandwidthGBs: float64(spec.Burst*LineSize) / last.Seconds() / 1e9,
+		Reps:         spec.Reps,
+		Burst:        spec.Burst,
+	}, nil
+}
+
+// MeasureD2D measures a D2D request type against device memory with the
+// given placement (PlaceCold or PlaceDMC).
+func (s *System) MeasureD2D(req D2HReq, spec MeasureSpec) (Measurement, error) {
+	spec.setDefaults()
+	if spec.Place != PlaceCold && spec.Place != PlaceDMC {
+		return Measurement{}, fmt.Errorf("cxl2sim: D2D placement must be PlaceCold or PlaceDMC")
+	}
+	prime := func(addr Addr) {
+		if spec.Place == PlaceDMC {
+			s.Dev.D2D(CSRead, addr, nil, 0)
+		} else {
+			s.Dev.DMC().Invalidate(addr)
+		}
+	}
+	lat := stats.NewSample(spec.Reps)
+	for rep := 0; rep < spec.Reps; rep++ {
+		addr := devProbe(rep)
+		prime(addr)
+		s.ResetTiming()
+		lat.Add(s.Dev.D2D(req, addr, nil, 0).Done.Nanoseconds())
+	}
+	base := spec.Reps + 1
+	for i := 0; i < spec.Burst; i++ {
+		prime(devProbe(base + i))
+	}
+	s.ResetTiming()
+	var last Time
+	for i := 0; i < spec.Burst; i++ {
+		if r := s.Dev.D2D(req, devProbe(base+i), nil, 0); r.Done > last {
+			last = r.Done
+		}
+	}
+	return Measurement{
+		MedianNs:     lat.Median(),
+		StdDevNs:     lat.StdDev(),
+		BandwidthGBs: float64(spec.Burst*LineSize) / last.Seconds() / 1e9,
+		Reps:         spec.Reps,
+		Burst:        spec.Burst,
+	}, nil
+}
+
+// MeasureH2D measures a host op against device memory with the given
+// placement (PlaceCold or PlaceDMC; PlaceLLC measures the NC-P-pushed fast
+// path).
+func (s *System) MeasureH2D(op HostOp, spec MeasureSpec) (Measurement, error) {
+	spec.setDefaults()
+	if spec.Place == PlaceHMC {
+		return Measurement{}, fmt.Errorf("cxl2sim: PlaceHMC does not apply to H2D")
+	}
+	prime := func(addr Addr) {
+		s.Host.LLC().Invalidate(addr)
+		switch spec.Place {
+		case PlaceDMC:
+			s.Dev.SetDMCState(addr, cache.Owned, nil)
+		case PlaceLLC:
+			s.Dev.D2H(NCP, addr, nil, 0)
+		}
+	}
+	core := s.Host.Core(0)
+	lat := stats.NewSample(spec.Reps)
+	for rep := 0; rep < spec.Reps; rep++ {
+		addr := devProbe(rep)
+		prime(addr)
+		s.ResetTiming()
+		lat.Add(core.Access(op, addr, nil, 0).Done.Nanoseconds())
+	}
+	base := spec.Reps + 1
+	for i := 0; i < spec.Burst; i++ {
+		prime(devProbe(base + i))
+	}
+	s.ResetTiming()
+	var last Time
+	for i := 0; i < spec.Burst; i++ {
+		if r := core.Access(op, devProbe(base+i), nil, 0); r.Done > last {
+			last = r.Done
+		}
+	}
+	return Measurement{
+		MedianNs:     lat.Median(),
+		StdDevNs:     lat.StdDev(),
+		BandwidthGBs: float64(spec.Burst*LineSize) / last.Seconds() / 1e9,
+		Reps:         spec.Reps,
+		Burst:        spec.Burst,
+	}, nil
+}
