@@ -1,0 +1,168 @@
+// Command cxlfuzz fuzzes the simulated platform's coherence protocol: it
+// generates weighted random operation programs against a chosen topology,
+// asserts the full invariant suite after every operation (state
+// cross-validation, data-value oracle, monotonic time, resource sanity),
+// and on failure shrinks the program to a minimal reproducer, emitting a
+// replay file, a standalone Go regression test, and a transaction trace.
+//
+// Usage:
+//
+//	cxlfuzz -config t2-hostbias -seed 1 -ops 2000
+//	cxlfuzz -config all -duration 30s
+//	cxlfuzz -replay repro.cxlfuzz
+//	cxlfuzz -config t2-hostbias -fault drop-directory   # prove the harness
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/stress"
+)
+
+func main() {
+	var (
+		configName = flag.String("config", "all", "topology to fuzz (see -list), or 'all'")
+		seed       = flag.Int64("seed", 1, "first generator seed")
+		ops        = flag.Int("ops", 2000, "operations per program")
+		duration   = flag.Duration("duration", 0, "keep fuzzing fresh seeds until this wall-clock budget expires (0 = one seed per config)")
+		replayPath = flag.String("replay", "", "replay a program from this file instead of generating")
+		faultName  = flag.String("fault", "none", "plant a deliberate bug: none, drop-directory, stale-nc-write")
+		outDir     = flag.String("out", ".", "directory for failure artifacts")
+		list       = flag.Bool("list", false, "list topologies and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, c := range stress.Configs() {
+			fmt.Printf("%-12s %v, %d slice(s), %d host + %d device lines\n",
+				c.Name, c.Type, c.Slices, c.HostLines, c.DevLines)
+		}
+		return
+	}
+
+	fault, err := device.ParseFault(*faultName)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *replayPath != "" {
+		f, err := os.Open(*replayPath)
+		if err != nil {
+			fatal(err)
+		}
+		p, err := stress.ReadReplay(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("replaying %s: config %s seed %d fault %v, %d ops\n",
+			*replayPath, p.Config, p.Seed, p.Fault, len(p.Ops))
+		if fail := stress.Execute(p); fail != nil {
+			report(p, fail, *outDir)
+			os.Exit(1)
+		}
+		fmt.Println("replay passed: no invariant violations")
+		return
+	}
+
+	cfgs := stress.Configs()
+	if *configName != "all" {
+		c, err := stress.ConfigByName(*configName)
+		if err != nil {
+			fatal(err)
+		}
+		cfgs = []stress.Config{c}
+	}
+
+	deadline := time.Now().Add(*duration)
+	round := int64(0)
+	totalRuns, totalOps := 0, 0
+	for {
+		for _, cfg := range cfgs {
+			s := *seed + round
+			p := stress.Generate(cfg, s, *ops)
+			p.Fault = fault
+			totalRuns++
+			totalOps += len(p.Ops)
+			if fail := stress.Execute(p); fail != nil {
+				fmt.Printf("FAIL %s seed %d: %v\n", cfg.Name, s, fail)
+				min := stress.Shrink(p)
+				fmt.Printf("shrunk %d ops -> %d ops\n", len(p.Ops), len(min.Ops))
+				report(min, stress.Execute(min), *outDir)
+				os.Exit(1)
+			}
+		}
+		round++
+		if *duration == 0 || time.Now().After(deadline) {
+			break
+		}
+	}
+	fmt.Printf("ok: %d run(s), %d ops, zero violations\n", totalRuns, totalOps)
+}
+
+// report writes the failure artifacts: replay file, standalone Go test, and
+// transaction trace CSV.
+func report(p *stress.Program, fail *stress.Failure, dir string) {
+	if fail != nil {
+		fmt.Printf("minimal reproducer fails with: %v\n", fail)
+	}
+	base := fmt.Sprintf("cxlfuzz-%s-seed%d", p.Config, p.Seed)
+
+	replay := filepath.Join(dir, base+".cxlfuzz")
+	if err := writeFile(replay, func(w io.Writer) error { return stress.WriteReplay(w, p) }); err != nil {
+		fatal(err)
+	}
+	testFile := filepath.Join(dir, base+"_test.go.txt")
+	testName := "TestRepro" + sanitize(p.Config)
+	if err := writeFile(testFile, func(w io.Writer) error { return stress.WriteReproTest(w, p, testName) }); err != nil {
+		fatal(err)
+	}
+	traceFile := filepath.Join(dir, base+".trace.csv")
+	buf, _ := stress.CaptureTrace(p, 1<<16)
+	if err := writeFile(traceFile, buf.WriteCSV); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("artifacts: %s, %s, %s\n", replay, testFile, traceFile)
+}
+
+func writeFile(path string, fill func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func sanitize(s string) string {
+	var sb strings.Builder
+	up := true
+	for _, r := range s {
+		if r == '-' || r == '_' {
+			up = true
+			continue
+		}
+		if up {
+			sb.WriteString(strings.ToUpper(string(r)))
+			up = false
+		} else {
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cxlfuzz:", err)
+	os.Exit(1)
+}

@@ -15,9 +15,6 @@ import (
 	"os"
 
 	cxl2sim "repro"
-	cxlpkg "repro/internal/cxl"
-	"repro/internal/experiments"
-	"repro/internal/ycsb"
 )
 
 func main() {
@@ -25,132 +22,11 @@ func main() {
 	full := flag.Bool("full", false, "also run the Fig. 8 co-simulations (minutes)")
 	flag.Parse()
 
-	fmt.Println("# cxl2sim reproduction report")
-	fmt.Println()
-	fmt.Println("| experiment | relation | paper | measured |")
-	fmt.Println("|---|---|---|---|")
-
-	reportFig3(*reps)
-	reportFig4(*reps)
-	reportFig5(*reps)
-	reportFig6()
-	reportTable4()
-	if *full {
-		reportFig8()
-	} else {
+	if !*full {
 		fmt.Fprintln(os.Stderr, "(skipping Fig. 8 co-simulations; pass -full to include them)")
 	}
-}
-
-func row(exp, rel, paper string, measured string) {
-	fmt.Printf("| %s | %s | %s | %s |\n", exp, rel, paper, measured)
-}
-
-func pct(a, b float64) string { return fmt.Sprintf("%+.0f %%", 100*(a-b)/b) }
-
-func reportFig3(reps int) {
-	rows := experiments.Fig3(experiments.Fig3Config{Reps: reps})
-	f := func(lbl string, tr, llc bool) experiments.Fig3Row {
-		return experiments.Fig3Find(rows, lbl, tr, llc)
+	if err := cxl2sim.WriteReport(os.Stdout, *reps, *full); err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
 	}
-	pairs := []struct {
-		a, b  string
-		llc   bool
-		paper string
-	}{
-		{"NC-rd", "nt-ld", true, "+38 %"},
-		{"CS-rd", "ld", true, "+96 %"},
-		{"NC-wr", "nt-st", true, "+71 %"},
-		{"CO-wr", "st", true, "+56 %"},
-		{"NC-rd", "nt-ld", false, "+2 %"},
-		{"CS-rd", "ld", false, "+18 %"},
-		{"NC-wr", "nt-st", false, "+67 %"},
-		{"CO-wr", "st", false, "+57 %"},
-	}
-	for _, p := range pairs {
-		llc := "LLC-0"
-		if p.llc {
-			llc = "LLC-1"
-		}
-		a, b := f(p.a, true, p.llc), f(p.b, false, p.llc)
-		row("Fig. 3", fmt.Sprintf("%s vs %s latency (%s)", p.a, p.b, llc), p.paper,
-			pct(a.LatencyNs, b.LatencyNs))
-	}
-	cs, ld := f("CS-rd", true, false), f("ld", false, false)
-	row("Fig. 3", "CS-rd/ld bandwidth (LLC-0)", "+76–120 %", pct(cs.BandwidthGBs, ld.BandwidthGBs))
-}
-
-func reportFig4(reps int) {
-	rows := experiments.Fig4(experiments.Fig4Config{Reps: reps})
-	for _, wr := range []string{"NC-wr", "CO-wr"} {
-		hb := experiments.Fig4Find(rows, wr, false, true, false)
-		db := experiments.Fig4Find(rows, wr, false, true, true)
-		row("Fig. 4", wr+" DMC-1 latency, device-bias lower", "~60 %",
-			fmt.Sprintf("%.0f %%", 100*(hb.LatencyNs-db.LatencyNs)/hb.LatencyNs))
-		row("Fig. 4", wr+" DMC-1 bandwidth, device-bias higher", "8–13 %",
-			pct(db.BandwidthGBs, hb.BandwidthGBs))
-	}
-}
-
-func reportFig5(reps int) {
-	rows := experiments.Fig5(experiments.Fig5Config{Reps: reps})
-	ld2 := experiments.Fig5Find(rows, cxlpkg.Ld, experiments.CaseT2Miss)
-	ld3 := experiments.Fig5Find(rows, cxlpkg.Ld, experiments.CaseT3)
-	row("Fig. 5", "ld latency, T2 vs T3", "+5 %", pct(ld2.LatencyNs, ld3.LatencyNs))
-	owned := experiments.Fig5Find(rows, cxlpkg.Ld, experiments.CaseT2Owned)
-	row("Fig. 5", "ld latency, DMC-1(owned) vs DMC-0", "+11 %", pct(owned.LatencyNs, ld2.LatencyNs))
-	mod := experiments.Fig5Find(rows, cxlpkg.Ld, experiments.CaseT2Modified)
-	row("Fig. 5", "ld latency, DMC-1(modified) vs DMC-0", "+36–40 %", pct(mod.LatencyNs, ld2.LatencyNs))
-	push := experiments.Fig5Find(rows, cxlpkg.Ld, experiments.CaseT2Pushed)
-	row("Fig. 5", "ld latency after NC-P push", "−82–87 %", pct(push.LatencyNs, ld2.LatencyNs))
-}
-
-func reportFig6() {
-	rows := experiments.Fig6()
-	st := experiments.Fig6Find(rows, experiments.MechCXLSt, false, 256)
-	for _, m := range []struct {
-		mech  experiments.Fig6Mechanism
-		paper string
-	}{
-		{experiments.MechPCIeMMIO, "−83 %"},
-		{experiments.MechPCIeDMA, "−72 %"},
-		{experiments.MechPCIeRDMA, "−81 %"},
-		{experiments.MechPCIeDOCA, "−92 %"},
-	} {
-		o := experiments.Fig6Find(rows, m.mech, false, 256)
-		row("Fig. 6", "CXL-ST vs "+m.mech.String()+" (256 B H2D)", m.paper, pct(st.LatencyNs, o.LatencyNs))
-	}
-	c := experiments.Fig6Find(rows, experiments.MechCXLLd, true, 4096)
-	r := experiments.Fig6Find(rows, experiments.MechPCIeRDMA, true, 4096)
-	row("Fig. 6", "D2H CXL-LD vs RDMA latency (4 KB)", "~3× lower",
-		fmt.Sprintf("%.1f× lower", r.LatencyNs/c.LatencyNs))
-}
-
-func reportTable4() {
-	rows := experiments.Table4()
-	cxlT := experiments.Table4Find(rows, "cxl-zswap").Total
-	rdma := experiments.Table4Find(rows, "pcie-rdma-zswap").Total
-	dma := experiments.Table4Find(rows, "pcie-dma-zswap").Total
-	row("Table IV", "totals (rdma / dma / cxl, µs)", "10.9 / 6.2 / 3.9",
-		fmt.Sprintf("%.1f / %.1f / %.1f", rdma, dma, cxlT))
-	row("Table IV", "cxl vs rdma", "−64 %", pct(cxlT, rdma))
-	row("Table IV", "cxl vs dma", "−37 %", pct(cxlT, dma))
-}
-
-func reportFig8() {
-	cfg := experiments.Fig8Config{}
-	zw := experiments.Fig8("zswap", []ycsb.Workload{ycsb.A}, cfg)
-	norm := func(rows []experiments.Fig8Row, v experiments.Fig8Variant) float64 {
-		return experiments.Fig8Find(rows, v, ycsb.A).NormP99
-	}
-	row("Fig. 8", "cpu-zswap p99", "5.1–10.3×", fmt.Sprintf("%.1f×", norm(zw, 0)))
-	row("Fig. 8", "pcie-rdma-zswap p99", "1.29–1.49×", fmt.Sprintf("%.2f×", norm(zw, 1)))
-	row("Fig. 8", "pcie-dma-zswap p99", "1.18–1.93×", fmt.Sprintf("%.2f×", norm(zw, 2)))
-	row("Fig. 8", "cxl-zswap p99", "1.14–1.26×", fmt.Sprintf("%.2f×", norm(zw, 3)))
-	km := experiments.Fig8("ksm", []ycsb.Workload{ycsb.A}, cfg)
-	row("Fig. 8", "cpu-ksm p99", "4.5–7.6×", fmt.Sprintf("%.1f×", norm(km, 0)))
-	row("Fig. 8", "pcie-rdma-ksm p99", "1.17–1.32×", fmt.Sprintf("%.2f×", norm(km, 1)))
-	row("Fig. 8", "pcie-dma-ksm p99", "1.16–1.35×", fmt.Sprintf("%.2f×", norm(km, 2)))
-	row("Fig. 8", "cxl-ksm p99", "1.16–1.30×", fmt.Sprintf("%.2f×", norm(km, 3)))
-	_ = cxl2sim.Workloads
 }

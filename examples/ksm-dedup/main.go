@@ -4,16 +4,17 @@
 // the scanner with the cxl-ksm backend, reports the memory it recovers,
 // then demonstrates CoW safety by having one VM write to a merged page.
 //
-//	go run ./examples/ksm-dedup
+//	go run ./examples/ksm-dedup [-seed N]
 package main
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 
 	cxl2sim "repro"
+	"repro/internal/rng"
 )
 
 const (
@@ -25,6 +26,9 @@ const (
 )
 
 func main() {
+	seed := flag.Int64("seed", 3, "seed for the VMs' private-page contents")
+	flag.Parse()
+
 	sys := cxl2sim.MustNewSystem(cxl2sim.Config{LLCBytes: 8 << 20, LLCWays: 16, Cores: 8})
 	eng := cxl2sim.NewEngine()
 	stack, err := sys.NewKsmStack(eng, cxl2sim.CXL, 2048, 0)
@@ -33,7 +37,7 @@ func main() {
 	}
 
 	// Boot the VMs: shared image pages + private heap pages.
-	rng := rand.New(rand.NewSource(3))
+	prng := rng.New(*seed)
 	image := make([][]byte, imagePages)
 	for i := range image {
 		image[i] = patternPage(byte(i), 0)
@@ -47,7 +51,7 @@ func main() {
 			if p < imagePages {
 				page = image[p]
 			} else {
-				page = patternPage(byte(p), byte(rng.Intn(255)+1))
+				page = patternPage(byte(p), byte(prng.Intn(255)+1))
 			}
 			if err := as.Map(uint64(p), page, loader); err != nil {
 				log.Fatal(err)

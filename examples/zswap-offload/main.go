@@ -5,16 +5,18 @@
 // where the compressed pool lives, and verifies every page's content after
 // a full swap-out/swap-in cycle.
 //
-//	go run ./examples/zswap-offload
+//	go run ./examples/zswap-offload [-seed N]
 package main
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 
 	cxl2sim "repro"
+	"repro/internal/rng"
 )
 
 const (
@@ -23,16 +25,19 @@ const (
 )
 
 func main() {
+	seed := flag.Int64("seed", 7, "seed for the synthetic pages' contents")
+	flag.Parse()
+
 	fmt.Printf("%-12s %-12s %-12s %-12s %-10s %-8s\n",
 		"backend", "swap-outs", "hostCPU", "pool-ratio", "pool-mem", "verify")
 	for _, v := range []cxl2sim.OffloadVariant{
 		cxl2sim.CPU, cxl2sim.PCIeRDMA, cxl2sim.PCIeDMA, cxl2sim.CXL,
 	} {
-		runVariant(v)
+		runVariant(v, *seed)
 	}
 }
 
-func runVariant(v cxl2sim.OffloadVariant) {
+func runVariant(v cxl2sim.OffloadVariant, seed int64) {
 	sys := cxl2sim.MustNewSystem(cxl2sim.Config{LLCBytes: 8 << 20, LLCWays: 16, Cores: 8})
 	eng := cxl2sim.NewEngine()
 	stack, err := sys.NewZswapStack(eng, v, ramPages, 60, 0)
@@ -44,10 +49,10 @@ func runVariant(v cxl2sim.OffloadVariant) {
 	// pressure drives kswapd and the direct-reclaim path through zswap.
 	proc := sys.NewProc(eng, "app", 1)
 	as := stack.MM.NewAddressSpace(1)
-	rng := rand.New(rand.NewSource(7))
+	prng := rng.New(seed)
 	pages := make([][]byte, workPages)
 	for i := range pages {
-		pages[i] = compressiblePage(rng, byte(i))
+		pages[i] = compressiblePage(prng, byte(i))
 		if err := as.Map(uint64(i), pages[i], proc); err != nil {
 			log.Fatalf("map %d: %v", i, err)
 		}

@@ -1,0 +1,176 @@
+package cxl2sim_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	cxl2sim "repro"
+)
+
+// Golden-file tests pin the rendered output of the report generator and
+// the experiment printers. The comparison is structural: the non-numeric
+// text must match exactly, while numeric tokens only have to agree within
+// a tolerance, so a timing-parameter recalibration that nudges a latency
+// by a few percent does not invalidate every golden file. Regenerate with:
+//
+//	go test . -run Golden -update
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files instead of comparing")
+
+const (
+	// goldenRelTol is the per-number relative tolerance; goldenAbsTol
+	// covers values near zero, where a relative bound is meaningless.
+	goldenRelTol = 0.25
+	goldenAbsTol = 2.0
+)
+
+// goldenNum matches numeric tokens, including the negative sign (both
+// ASCII '-' and the typographic '−' the report uses in paper columns).
+var goldenNum = regexp.MustCompile(`[-−]?[0-9]+(?:\.[0-9]+)?`)
+
+// checkGolden compares got against testdata/<name>, or rewrites the file
+// under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	wantBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if err := compareTolerant(string(wantBytes), got); err != nil {
+		t.Fatalf("output diverged from %s: %v\n(run with -update if the change is intended)", path, err)
+	}
+}
+
+// compareTolerant checks that got matches want line by line: identical
+// text shape, numbers within tolerance.
+func compareTolerant(want, got string) error {
+	wl := splitLines(want)
+	gl := splitLines(got)
+	if len(wl) != len(gl) {
+		return fmt.Errorf("line count changed: golden %d, got %d", len(wl), len(gl))
+	}
+	for i := range wl {
+		wShape := goldenNum.ReplaceAllString(wl[i], "#")
+		gShape := goldenNum.ReplaceAllString(gl[i], "#")
+		if wShape != gShape {
+			return fmt.Errorf("line %d text changed:\n  golden: %s\n  got:    %s", i+1, wl[i], gl[i])
+		}
+		wNums := goldenNum.FindAllString(wl[i], -1)
+		gNums := goldenNum.FindAllString(gl[i], -1)
+		for j := range wNums {
+			a, b := parseGoldenNum(wNums[j]), parseGoldenNum(gNums[j])
+			if !withinTolerance(a, b) {
+				return fmt.Errorf("line %d number %d out of tolerance: golden %v, got %v\n  golden: %s\n  got:    %s",
+					i+1, j+1, wNums[j], gNums[j], wl[i], gl[i])
+			}
+		}
+	}
+	return nil
+}
+
+func splitLines(s string) []string {
+	var out []string
+	for len(s) > 0 {
+		i := 0
+		for i < len(s) && s[i] != '\n' {
+			i++
+		}
+		out = append(out, s[:i])
+		if i < len(s) {
+			i++
+		}
+		s = s[i:]
+	}
+	return out
+}
+
+func parseGoldenNum(s string) float64 {
+	neg := false
+	for len(s) > 0 && (s[0] == '-' || s[0] == 0xE2) { // 0xE2 starts UTF-8 '−'
+		if s[0] == '-' {
+			s = s[1:]
+		} else {
+			s = s[3:]
+		}
+		neg = true
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		panic(fmt.Sprintf("golden: unparseable number %q", s))
+	}
+	if neg {
+		v = -v
+	}
+	return v
+}
+
+func withinTolerance(a, b float64) bool {
+	diff := math.Abs(a - b)
+	if diff <= goldenAbsTol {
+		return true
+	}
+	return diff/math.Max(math.Abs(a), math.Abs(b)) <= goldenRelTol
+}
+
+// TestReportGolden pins `report` (the microbenchmark half; Fig. 8 is
+// exercised by its own calibration tests and too slow for a golden run).
+func TestReportGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := cxl2sim.WriteReport(&buf, 50, false); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report.golden", buf.String())
+}
+
+// TestTable3Golden pins the coherence-state table: it is fully categorical
+// (cache states, no timing), so any drift is a semantics change.
+func TestTable3Golden(t *testing.T) {
+	var buf bytes.Buffer
+	cxl2sim.PrintTable3(&buf, cxl2sim.RunTable3())
+	checkGolden(t, "table3.golden", buf.String())
+}
+
+// TestWriteQueueSweepGolden pins the §V-A write-queue sweep rendering.
+func TestWriteQueueSweepGolden(t *testing.T) {
+	var buf bytes.Buffer
+	cxl2sim.PrintWriteQueueSweep(&buf, cxl2sim.RunWriteQueueSweep([]int{1, 8, 64}))
+	checkGolden(t, "writequeue.golden", buf.String())
+}
+
+// TestGoldenComparatorRejectsDrift guards the comparator itself: exact
+// text changes and out-of-tolerance numbers must both fail.
+func TestGoldenComparatorRejectsDrift(t *testing.T) {
+	if err := compareTolerant("lat 100.0 ns", "lat 110.0 ns"); err != nil {
+		t.Errorf("10%% drift should pass: %v", err)
+	}
+	if err := compareTolerant("lat 100.0 ns", "lat 200.0 ns"); err == nil {
+		t.Error("2x drift passed")
+	}
+	if err := compareTolerant("lat 100.0 ns", "bw 100.0 ns"); err == nil {
+		t.Error("text change passed")
+	}
+	if err := compareTolerant("a\nb", "a"); err == nil {
+		t.Error("missing line passed")
+	}
+	if err := compareTolerant("x −64 %", "x −64 %"); err != nil {
+		t.Errorf("typographic minus: %v", err)
+	}
+}

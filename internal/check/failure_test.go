@@ -1,0 +1,146 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/cxl"
+	"repro/internal/mem"
+	"repro/internal/phys"
+	"repro/internal/sim"
+)
+
+// The failure-path tests corrupt platform state on purpose and require
+// each invariant to fire with a message a debugging engineer can act on:
+// naming the line, the caches involved, and the states seen. A checker
+// that detects a violation but reports it uselessly fails these tests.
+
+// wantViolation asserts err is non-nil and mentions every fragment.
+func wantViolation(t *testing.T, err error, fragments ...string) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("corrupted state passed the checker")
+	}
+	for _, f := range fragments {
+		if !strings.Contains(err.Error(), f) {
+			t.Fatalf("violation message %q does not mention %q", err, f)
+		}
+	}
+}
+
+// TestHMCInclusionMessage: invariant 2 — an HMC line the home directory
+// does not track. The message must name the line and both parties.
+func TestHMCInclusionMessage(t *testing.T) {
+	h := newPlatform(t)
+	h.Dev.D2H(cxl.CSRead, 0x2040, nil, 0)
+	h.Home().SnoopDevice(0x2040) // sever the directory entry
+	wantViolation(t, Coherence(h, h.Dev), "HMC", "directory", "0x2040")
+}
+
+// TestHostLineDoubleOwnershipMessage: invariant 1 — LLC and HMC both hold
+// write permission for one host line. The message must name the line and
+// both states.
+func TestHostLineDoubleOwnershipMessage(t *testing.T) {
+	h := newPlatform(t)
+	h.Dev.D2H(cxl.CORead, 0x3000, nil, 0) // HMC Exclusive, tracked
+	h.LLC().Fill(0x3000, cache.Modified, nil)
+	wantViolation(t, Coherence(h, h.Dev), "double-held", "0x3000", "HMC=E", "LLC=M")
+}
+
+// TestSharedNextToExclusiveHMC: invariant 1's subtler shape — even a
+// merely-Shared LLC copy is illegal next to an Exclusive HMC copy.
+func TestSharedNextToExclusiveHMC(t *testing.T) {
+	h := newPlatform(t)
+	h.Dev.D2H(cxl.CORead, 0x3040, nil, 0)
+	h.LLC().Fill(0x3040, cache.Shared, nil)
+	wantViolation(t, Coherence(h, h.Dev), "double-held", "0x3040")
+}
+
+// TestDMCDoubleOwnershipMessage: invariant 3 — a Modified DMC line next to
+// a valid LLC copy in host-bias mode.
+func TestDMCDoubleOwnershipMessage(t *testing.T) {
+	h := newPlatform(t)
+	devAddr := mem.RegionDevice.Base + 0x2000
+	h.Dev.D2D(cxl.COWrite, devAddr, line(0xAB), 0)
+	h.LLC().Fill(devAddr, cache.Shared, nil)
+	wantViolation(t, Coherence(h, h.Dev), "device line", "DMC=M", "LLC=S")
+}
+
+// TestDataConsistencyMessage: a stale memory image must be reported with
+// the address, the byte, and both values.
+func TestDataConsistencyMessage(t *testing.T) {
+	h := newPlatform(t)
+	h.Store().WriteLine(0x5000, line(0x11))
+	err := DataConsistency(h.Dev, map[phys.Addr][]byte{0x5000: line(0x22)})
+	wantViolation(t, err, "0x5000", "0x11", "0x22")
+}
+
+// TestOracleVerifyMismatch: the data-value oracle must name the first
+// mismatching byte and both values.
+func TestOracleVerifyMismatch(t *testing.T) {
+	o := NewOracle()
+	addr := phys.Addr(0x6000)
+	o.Write(addr, line(0x5A))
+
+	good := line(0x5A)
+	if err := o.Verify(addr, good); err != nil {
+		t.Fatalf("matching line rejected: %v", err)
+	}
+
+	bad := line(0x5A)
+	bad[17] = 0x99
+	wantViolation(t, o.Verify(addr, bad), "byte 17", "0x99", "0x5a", "stale")
+
+	wantViolation(t, o.Verify(addr, nil), "no data")
+	wantViolation(t, o.Verify(addr, []byte{1, 2, 3}), "3 bytes")
+
+	// Never-written lines are architecturally zero.
+	if err := o.Verify(0x7000, make([]byte, phys.LineSize)); err != nil {
+		t.Fatalf("zero default rejected: %v", err)
+	}
+	wantViolation(t, o.Verify(0x7000, line(1)), "0x00")
+}
+
+// TestMonitorTimeRegression: issue times must be non-decreasing and every
+// completion at or after its issue.
+func TestMonitorTimeRegression(t *testing.T) {
+	h := newPlatform(t)
+	m := NewMonitor(h, h.Dev)
+	if err := m.Step(100*sim.Nanosecond, 150*sim.Nanosecond); err != nil {
+		t.Fatalf("clean step rejected: %v", err)
+	}
+	wantViolation(t, m.Step(50*sim.Nanosecond, 60*sim.Nanosecond), "backwards")
+	// Completion before issue on an otherwise advancing clock.
+	m2 := NewMonitor(h, h.Dev)
+	wantViolation(t, m2.Step(200*sim.Nanosecond, 199*sim.Nanosecond), "completed", "before")
+}
+
+// TestMonitorCounterRegression: a counter running backwards (simulated
+// here with ResetStats behind the monitor's back) must be flagged.
+func TestMonitorCounterRegression(t *testing.T) {
+	h := newPlatform(t)
+	core := h.Core(0)
+	core.Access(cxl.Ld, 0x9000, nil, 0) // generate some LLC traffic
+	core.Access(cxl.Ld, 0x9040, nil, 0)
+	m := NewMonitor(h, h.Dev)
+	core.Access(cxl.Ld, 0x9080, nil, sim.Microsecond)
+	if err := m.Step(sim.Microsecond, 2*sim.Microsecond); err != nil {
+		t.Fatalf("clean step rejected: %v", err)
+	}
+	h.LLC().ResetStats()
+	wantViolation(t, m.Step(3*sim.Microsecond, 4*sim.Microsecond), "counters ran backwards", h.LLC().Name())
+}
+
+// TestMonitorAcceptsQuiescentSteps: steps with no traffic in between must
+// not trip the monotonicity checks.
+func TestMonitorAcceptsQuiescentSteps(t *testing.T) {
+	h := newPlatform(t)
+	m := NewMonitor(h, h.Dev)
+	for i := 1; i <= 5; i++ {
+		tm := sim.Time(i) * sim.Microsecond
+		if err := m.Step(tm, tm); err != nil {
+			t.Fatalf("quiescent step %d rejected: %v", i, err)
+		}
+	}
+}

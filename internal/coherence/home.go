@@ -111,8 +111,13 @@ func (h *HomeAgent) D2H(req cxl.D2HReq, addr phys.Addr, data []byte, arrive sim.
 		h.dir[addr] = cache.Shared
 		if hit {
 			if line.State == cache.Exclusive || line.State == cache.Modified {
-				// Modified data stays in LLC but the state is now Shared;
-				// memory may be stale, which is fine: LLC still owns it.
+				// Losing write permission: a Modified line must reach memory
+				// now, because a Shared victim is dropped silently on
+				// eviction and the stale memory copy would become visible.
+				if line.State == cache.Modified && line.Data != nil {
+					h.store.WriteLine(addr, line.Data)
+					h.channels.PostWrite(addr, base)
+				}
 				line.State = cache.Shared
 			}
 			return D2HResult{

@@ -273,3 +273,30 @@ func TestStatsCounters(t *testing.T) {
 		t.Fatalf("stats = %d reads, %d writes", r, w)
 	}
 }
+
+// TestCSReadHitWritesBackModifiedData is the regression test for a bug the
+// fuzzing harness's data oracle was designed to catch: a CS-rd hit on a
+// Modified LLC line downgrades it to Shared, and a Shared victim is later
+// dropped silently on eviction — so the modified data must reach memory at
+// the downgrade, or a post-eviction NC-rd observes stale bytes.
+func TestCSReadHitWritesBackModifiedData(t *testing.T) {
+	h := newAgent(t)
+	h.Store().WriteLine(addr, line(0x11)) // stale memory
+	h.LLC().Fill(addr, cache.Modified, line(0xEE))
+
+	res := h.D2H(cxl.CSRead, addr, nil, 0)
+	if res.Data[0] != 0xEE {
+		t.Fatalf("CS-rd returned %#x, want 0xEE", res.Data[0])
+	}
+	if got := h.LLC().Peek(addr).State; got != cache.Shared {
+		t.Fatalf("LLC state after CS-rd hit = %v, want S", got)
+	}
+
+	// A Shared line evicts silently (clean victim). Model that drop, then
+	// read memory through the coherent path: the bytes must be current.
+	h.LLC().Invalidate(addr)
+	got := h.D2H(cxl.NCRead, addr, nil, res.Done)
+	if got.Data[0] != 0xEE {
+		t.Fatalf("memory after M->S downgrade and eviction = %#x, want 0xEE (dirty data lost)", got.Data[0])
+	}
+}

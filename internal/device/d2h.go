@@ -108,7 +108,7 @@ func (d *Device) d2h(req cxl.D2HReq, addr phys.Addr, data []byte, now sim.Time) 
 	case cxl.NCWrite:
 		// Invalidate any HMC copy, then WrInv to host memory (one-way,
 		// posted at the home agent).
-		if hmcHit {
+		if hmcHit && d.fault != FaultStaleNCWrite {
 			d.hmc.Invalidate(addr)
 		}
 		arrive := d.link.Transfer(interconnect.Up, t, cxl.DataBytes)
@@ -139,6 +139,9 @@ func (d *Device) d2hReadRemote(req cxl.D2HReq, addr phys.Addr, t sim.Time, alloc
 	d.d2hCredits.Complete(done)
 	if allocate && res.HMCState != cache.Invalid {
 		d.fillHMC(addr, res.HMCState, res.Data, done)
+		if d.fault == FaultDropDirectory {
+			d.home.SnoopDevice(addr) // planted bug: lost snoop-filter update
+		}
 	}
 	return Result{Done: done, Data: res.Data, LLCHit: res.LLCHit}
 }

@@ -96,6 +96,11 @@ type Device struct {
 
 	tracer trace.Tracer
 	stats  Stats
+
+	// fault is the planted bug used by the fuzzing harness to validate
+	// that the invariant checkers fire (see fault.go). FaultNone in any
+	// real configuration.
+	fault FaultKind
 }
 
 // Stats counts device-side events.

@@ -1,0 +1,53 @@
+package device
+
+import "fmt"
+
+// FaultKind selects a deliberately planted coherence bug, used ONLY by the
+// stress/fuzzing harness to prove that the invariant checkers actually
+// fire and that failing runs shrink to small reproducers. A production
+// configuration never sets a fault; the hooks are two branch checks on
+// cold paths and cost nothing when FaultNone.
+type FaultKind uint8
+
+// Fault kinds.
+const (
+	// FaultNone disables injection (the default).
+	FaultNone FaultKind = iota
+	// FaultDropDirectory makes allocating D2H reads (CO-rd/CS-rd misses)
+	// silently drop the home directory's tracking entry after filling HMC —
+	// a lost snoop-filter update. check.Coherence's inclusion invariant
+	// catches it on the next step.
+	FaultDropDirectory
+	// FaultStaleNCWrite makes NC-wr skip the HMC invalidation, leaving a
+	// stale device copy behind: the inclusion invariant fires (the home
+	// untracked the line) and, on a later NC-rd hit, the data oracle
+	// catches the stale bytes.
+	FaultStaleNCWrite
+)
+
+// String names the fault.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultDropDirectory:
+		return "drop-directory"
+	case FaultStaleNCWrite:
+		return "stale-nc-write"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", uint8(k))
+	}
+}
+
+// ParseFault resolves a fault name (as printed by String).
+func ParseFault(name string) (FaultKind, error) {
+	for _, k := range []FaultKind{FaultNone, FaultDropDirectory, FaultStaleNCWrite} {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return FaultNone, fmt.Errorf("device: unknown fault %q", name)
+}
+
+// InjectFault plants k into the device's D2H pipeline. Test-only.
+func (d *Device) InjectFault(k FaultKind) { d.fault = k }

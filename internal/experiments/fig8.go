@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
 	"repro/internal/device"
 	"repro/internal/host"
@@ -14,6 +13,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/offload"
 	"repro/internal/phys"
+	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/timing"
@@ -182,7 +182,7 @@ func Fig8ZswapDiag(v Fig8Variant, w ycsb.Workload, cfg Fig8Config) (Fig8Row, Fig
 	var ant *kvs.Antagonist
 	if v != Baseline {
 		antAS := mm.NewAddressSpace(99)
-		ant = kvs.NewAntagonist(eng, antAS, h.Core(2).Sched, cfg.Seed+7)
+		ant = kvs.NewAntagonist(eng, antAS, h.Core(2).Sched, cfg.Seed+seedOffFig8Antagonist)
 		ant.PagesPerBurst = 8
 		ant.Interval = 500 * sim.Microsecond
 		ant.Keep = 1800 // a large cold tail: reclaim victims are mostly the antagonist's
@@ -216,7 +216,7 @@ func Fig8ZswapDiag(v Fig8Variant, w ycsb.Workload, cfg Fig8Config) (Fig8Row, Fig
 	}
 
 	gen := ycsb.MustNewGenerator(w, cfg.dist(), uint64(scfg.Records), cfg.Seed)
-	lg := kvs.NewLoadGen(eng, servers, gen, cfg.RatePerSec, cfg.Seed+1)
+	lg := kvs.NewLoadGen(eng, servers, gen, cfg.RatePerSec, cfg.Seed+seedOffFig8LoadGen)
 	lg.Start()
 	// Requests complete synchronously within their arrival event, so the
 	// horizon is exact; the daemons (kswapd, antagonist) would reschedule
@@ -305,7 +305,7 @@ func Fig8KsmDiag(v Fig8Variant, w ycsb.Workload, cfg Fig8Config) (Fig8Row, Fig8D
 
 	// 12 client VMs hold mergeable pages: a shared set of template pages
 	// (OS image / common libraries) plus private pages.
-	rng := rand.New(rand.NewSource(cfg.Seed + 3))
+	rng := rng.New(cfg.Seed + seedOffFig8Pages)
 	templates := make([][]byte, 64)
 	for i := range templates {
 		templates[i] = lzc.SyntheticPage(rng, phys.PageSize, 0.5)
@@ -387,7 +387,7 @@ func Fig8KsmDiag(v Fig8Variant, w ycsb.Workload, cfg Fig8Config) (Fig8Row, Fig8D
 	churn.Schedule(churnStep)
 
 	gen := ycsb.MustNewGenerator(w, cfg.dist(), uint64(scfg.Records), cfg.Seed)
-	lg := kvs.NewLoadGen(eng, servers, gen, cfg.RatePerSec, cfg.Seed+1)
+	lg := kvs.NewLoadGen(eng, servers, gen, cfg.RatePerSec, cfg.Seed+seedOffFig8LoadGen)
 	lg.Start()
 	eng.RunUntil(cfg.Duration)
 	lg.Stop()

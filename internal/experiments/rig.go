@@ -17,6 +17,7 @@ import (
 	"repro/internal/host"
 	"repro/internal/mem"
 	"repro/internal/phys"
+	"repro/internal/rng"
 	"repro/internal/timing"
 )
 
@@ -40,7 +41,7 @@ func NewRig(devType cxl.DeviceType) *Rig {
 	if _, err := h.Attach(cfg); err != nil {
 		panic(err)
 	}
-	return &Rig{P: p, Host: h, Dev: h.Dev, Emu: h.NewEmuCore(), rng: rand.New(rand.NewSource(42))}
+	return &Rig{P: p, Host: h, Dev: h.Dev, Emu: h.NewEmuCore(), rng: rng.New(SeedRig)}
 }
 
 // hostLine returns the i-th distinct host-memory line of a random-ish

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
 	"repro/internal/cxl"
 	"repro/internal/device"
@@ -11,6 +10,7 @@ import (
 	"repro/internal/lzc"
 	"repro/internal/offload"
 	"repro/internal/phys"
+	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/timing"
 	"repro/internal/zswap"
@@ -35,7 +35,7 @@ func Table4() []Table4Row {
 		panic(err)
 	}
 	pl := offload.NewPlatform(h)
-	rng := rand.New(rand.NewSource(4))
+	rng := rng.New(SeedTable4Page)
 	page := lzc.SyntheticPage(rng, phys.PageSize, 0.7)
 	src := phys.Addr(0x40000)
 	h.Store().Write(src, page)

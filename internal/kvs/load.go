@@ -6,6 +6,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/lzc"
 	"repro/internal/phys"
+	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/ycsb"
 )
@@ -33,7 +34,7 @@ func NewLoadGen(eng *sim.Engine, servers []*Server, gen *ycsb.Generator, ratePer
 		eng:        eng,
 		servers:    servers,
 		gen:        gen,
-		rng:        rand.New(rand.NewSource(seed)),
+		rng:        rng.New(seed),
 		RatePerSec: ratePerSec,
 	}
 }
@@ -95,7 +96,7 @@ func NewAntagonist(eng *sim.Engine, as *kernel.AddressSpace, core *sim.Resource,
 		eng:           eng,
 		proc:          sim.NewProc(eng, "antagonist", core),
 		as:            as,
-		rng:           rand.New(rand.NewSource(seed)),
+		rng:           rng.New(seed),
 		PagesPerBurst: 16,
 		Interval:      500 * sim.Microsecond,
 		Keep:          256,

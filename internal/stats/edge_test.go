@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantileTable pins the closest-ranks interpolation on known inputs,
+// including the p0/p100 endpoints and duplicate-heavy samples.
+func TestQuantileTable(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		q    float64
+		want float64
+	}{
+		{"p0 is min", []float64{30, 10, 20}, 0, 10},
+		{"p100 is max", []float64{30, 10, 20}, 1, 30},
+		{"p50 odd n, no interpolation", []float64{1, 2, 3}, 0.5, 2},
+		{"p50 even n interpolates", []float64{10, 20, 30, 40}, 0.5, 25},
+		{"p25 lands between ranks", []float64{10, 20, 30, 40}, 0.25, 17.5},
+		{"p75 lands between ranks", []float64{10, 20, 30, 40}, 0.75, 32.5},
+		{"p99 near the top", []float64{0, 100}, 0.99, 99},
+		{"p1 near the bottom", []float64{0, 100}, 0.01, 1},
+		{"all duplicates", []float64{5, 5, 5, 5}, 0.5, 5},
+		{"duplicates at p0", []float64{2, 2, 9}, 0, 2},
+		{"duplicates at p100", []float64{2, 9, 9}, 1, 9},
+		{"single obs p0", []float64{7}, 0, 7},
+		{"single obs p100", []float64{7}, 1, 7},
+		{"negative values", []float64{-10, -20}, 0.5, -15},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := NewSample(len(c.xs))
+			for _, x := range c.xs {
+				s.Add(x)
+			}
+			if got := s.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+				t.Fatalf("Quantile(%v) of %v = %v, want %v", c.q, c.xs, got, c.want)
+			}
+		})
+	}
+}
+
+// TestEmptySampleBehavior pins every query against an empty sample: the
+// mean/stddev family degrades to zero, the order statistics panic.
+func TestEmptySampleBehavior(t *testing.T) {
+	s := NewSample(0)
+	if s.N() != 0 || s.Mean() != 0 || s.StdDev() != 0 {
+		t.Fatal("empty sample N/Mean/StdDev should be 0")
+	}
+	if got := s.Summarize(); got != (Summary{}) {
+		t.Fatalf("empty Summarize = %+v, want zero", got)
+	}
+	if vs := s.Values(); len(vs) != 0 {
+		t.Fatalf("empty Values = %v", vs)
+	}
+	mustPanic(t, func() { s.Min() })
+	mustPanic(t, func() { s.Max() })
+	mustPanic(t, func() { s.Median() })
+	mustPanic(t, func() { s.P99() })
+}
+
+// TestSingleObservationSummary: with one observation every order statistic
+// collapses to it and the spread is zero.
+func TestSingleObservationSummary(t *testing.T) {
+	s := NewSample(1)
+	s.Add(42)
+	got := s.Summarize()
+	want := Summary{N: 1, Mean: 42, StdDev: 0, Min: 42, Median: 42, P99: 42, Max: 42}
+	if got != want {
+		t.Fatalf("Summarize = %+v, want %+v", got, want)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the half-open [i*w, (i+1)*w) bucket
+// convention: a value exactly on an edge belongs to the bucket above it,
+// and a value exactly at the histogram's upper limit overflows.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		x    float64
+		want float64 // Quantile(1.0) after adding only x; +Inf = overflow
+	}{
+		{"zero is bucket 0", 0, 10},
+		{"just below first edge", 9.999, 10},
+		{"exactly on first edge", 10, 20},
+		{"mid bucket", 25, 30},
+		{"just below the limit", 99.999, 100},
+		{"exactly at the limit overflows", 100, math.Inf(1)},
+		{"beyond the limit overflows", 1e9, math.Inf(1)},
+		{"negative clamps to bucket 0", -3, 10},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			h := NewHistogram(10, 10) // [0,100) + overflow
+			h.Add(c.x)
+			got := h.Quantile(1.0)
+			if math.IsInf(c.want, 1) {
+				if !math.IsInf(got, 1) {
+					t.Fatalf("Add(%v): Quantile = %v, want +Inf", c.x, got)
+				}
+				return
+			}
+			if got != c.want {
+				t.Fatalf("Add(%v): Quantile = %v, want %v (bucket right edge)", c.x, got, c.want)
+			}
+		})
+	}
+}
+
+// TestHistogramLowQuantileClamp: Quantile(0) must still land on the first
+// occupied bucket rather than reading rank zero.
+func TestHistogramLowQuantileClamp(t *testing.T) {
+	h := NewHistogram(10, 10)
+	h.Add(55)
+	if got := h.Quantile(0); got != 60 {
+		t.Fatalf("Quantile(0) = %v, want 60 (right edge of the only occupied bucket)", got)
+	}
+}
+
+// TestStdDevOfConstant guards the sumSq formulation against catastrophic
+// cancellation flipping the variance negative.
+func TestStdDevOfConstant(t *testing.T) {
+	s := NewSample(0)
+	for i := 0; i < 1000; i++ {
+		s.Add(1e9 + 0.5)
+	}
+	if got := s.StdDev(); got != 0 {
+		t.Fatalf("StdDev of a constant = %v, want 0", got)
+	}
+}

@@ -1,0 +1,174 @@
+// Package stress is the randomized coherence-fuzzing harness: it generates
+// weighted random programs over the platform's full operation vocabulary
+// (host ld/nt-ld/st/nt-st, CLFLUSH/CLDEMOTE, device NC-P/NC/CO/CS reads and
+// writes on both the D2H and D2D paths, bias-table flips, DSA copies, and
+// Fig. 7-style zswap/ksm offload steps), executes them against configurable
+// topologies, and asserts the full invariant suite after every operation:
+// check.Coherence state cross-validation, the data-value oracle, monotonic
+// simulated time, and resource-utilization sanity.
+//
+// Runs are identified by (config, seed) and are deterministically
+// replayable. On failure the harness shrinks the program to a minimal
+// reproducer with delta debugging and can emit it as a standalone Go test
+// plus a trace-package event log.
+package stress
+
+import (
+	"fmt"
+
+	"repro/internal/cxl"
+)
+
+// Weights biases the generator toward operation classes. A zero weight
+// removes the class from the vocabulary; classes a topology cannot express
+// (e.g. D2D on Type-3) are force-zeroed by Validate.
+type Weights struct {
+	Host      int // host core ld/nt-ld/st/nt-st on host memory
+	HostDev   int // host core ld/nt-ld/st/nt-st on device memory (CXL.mem H2D)
+	D2H       int // device D2H with a random hint on host memory
+	D2D       int // device D2D with a random hint on device memory
+	CLFlush   int // host CLFLUSH of a host or device line
+	CLDemote  int // host CLDEMOTE of a host line into LLC
+	Bias      int // device-bias enter/exit of a device line (§IV-B)
+	DSA       int // DSA copy between two host-visible lines
+	ZswapStep int // Fig. 7 zswap offload step: D2H pulls, D2D zpool write, NC-P result
+	KsmStep   int // Fig. 7 ksm offload step: D2H pulls, compare, NC-P verdict
+}
+
+func (w Weights) total() int {
+	return w.Host + w.HostDev + w.D2H + w.D2D + w.CLFlush + w.CLDemote +
+		w.Bias + w.DSA + w.ZswapStep + w.KsmStep
+}
+
+// Config describes one fuzzing topology: the device personality, slice
+// count, cache geometry (deliberately tiny so evictions and conflicts are
+// frequent), the address pool sizes, and the op-class weights.
+type Config struct {
+	// Name identifies the topology in replay files and CLI flags.
+	Name string
+	// Type is the device personality under test.
+	Type cxl.DeviceType
+	// Slices is the DCOH slice count (1–4; >1 only for Type-2).
+	Slices int
+	// HostLines / DevLines size the host- and device-memory line pools the
+	// generator draws addresses from.
+	HostLines, DevLines int
+	// DeviceBiasStart puts the first half of the device-line pool in
+	// device-bias mode before the program runs (§IV-B).
+	DeviceBiasStart bool
+	// Cache geometry: small on purpose, to force evictions.
+	LLCBytes, LLCWays int
+	HMCBytes, HMCWays int
+	DMCBytes, DMCWays int
+	// Cores is the host core count the generator spreads ops across.
+	Cores int
+	// Weights is the op-class mix.
+	Weights Weights
+}
+
+// Validate normalizes the config: it zeroes weights for op classes the
+// personality cannot express and reports structural errors.
+func (c *Config) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("stress: config needs a name")
+	}
+	if c.Slices < 1 || c.Slices > 4 {
+		return fmt.Errorf("stress: %s: slice count %d out of range [1,4]", c.Name, c.Slices)
+	}
+	if c.Slices > 1 && c.Type != cxl.Type2 {
+		return fmt.Errorf("stress: %s: multi-slice requires Type-2", c.Name)
+	}
+	if c.Cores < 1 {
+		return fmt.Errorf("stress: %s: need at least one core", c.Name)
+	}
+	if c.HostLines < c.Slices {
+		return fmt.Errorf("stress: %s: host line pool smaller than slice count", c.Name)
+	}
+	if !c.Type.HasDeviceCache() {
+		c.Weights.D2H, c.Weights.D2D = 0, 0
+		c.Weights.ZswapStep, c.Weights.KsmStep = 0, 0
+	}
+	if !c.Type.HasDeviceMemory() {
+		c.Weights.HostDev, c.Weights.D2D, c.Weights.Bias = 0, 0, 0
+		c.Weights.ZswapStep = 0
+		c.DevLines = 0
+		c.DeviceBiasStart = false
+	}
+	if c.Type != cxl.Type2 {
+		// D2D cache hints and bias management are Type-2 capabilities.
+		c.Weights.D2D, c.Weights.Bias = 0, 0
+	}
+	if c.Slices > 1 {
+		// The DSA engine and the host writeback path resolve device memory
+		// through slice 0 only; see run.go for the slice-ownership rules.
+		c.Weights.DSA = 0
+	}
+	if c.DevLines == 0 {
+		c.Weights.HostDev, c.Weights.D2D, c.Weights.Bias, c.Weights.ZswapStep = 0, 0, 0, 0
+	}
+	if c.Weights.total() == 0 {
+		return fmt.Errorf("stress: %s: empty op vocabulary", c.Name)
+	}
+	return nil
+}
+
+// defaultGeometry fills in the small-cache geometry shared by the named
+// configs.
+func defaultGeometry(c Config) Config {
+	if c.LLCBytes == 0 {
+		c.LLCBytes, c.LLCWays = 8<<10, 4
+	}
+	if c.HMCBytes == 0 {
+		c.HMCBytes, c.HMCWays = 2<<10, 2
+	}
+	if c.DMCBytes == 0 {
+		c.DMCBytes, c.DMCWays = 1<<10, 1
+	}
+	if c.Cores == 0 {
+		c.Cores = 3
+	}
+	if c.HostLines == 0 {
+		c.HostLines = 96
+	}
+	if c.DevLines == 0 && c.Type.HasDeviceMemory() {
+		c.DevLines = 48
+	}
+	return c
+}
+
+// Configs returns the named fuzzing topologies: the three Type-2 shapes
+// (host-bias, device-bias, multi-slice), the Type-3 memory expander, and
+// the Type-1 SNIC. A plain PCIe personality exposes no coherent surface to
+// fuzz — DMA through the pcie package never touches LLC/HMC/DMC state — so
+// it has no entry here.
+func Configs() []Config {
+	t2 := Weights{Host: 20, HostDev: 12, D2H: 25, D2D: 18, CLFlush: 6,
+		CLDemote: 5, Bias: 4, DSA: 4, ZswapStep: 3, KsmStep: 3}
+	cfgs := []Config{
+		{Name: "t2-hostbias", Type: cxl.Type2, Slices: 1, Weights: t2},
+		{Name: "t2-devbias", Type: cxl.Type2, Slices: 1, DeviceBiasStart: true,
+			Weights: func() Weights { w := t2; w.Bias = 12; return w }()},
+		{Name: "t2-slices", Type: cxl.Type2, Slices: 4, Weights: t2},
+		{Name: "t3", Type: cxl.Type3, Slices: 1,
+			Weights: Weights{Host: 25, HostDev: 25, CLFlush: 8, CLDemote: 6, DSA: 6}},
+		{Name: "t1-snic", Type: cxl.Type1, Slices: 1,
+			Weights: Weights{Host: 25, D2H: 30, CLFlush: 8, CLDemote: 6, DSA: 5, KsmStep: 4}},
+	}
+	for i := range cfgs {
+		cfgs[i] = defaultGeometry(cfgs[i])
+		if err := cfgs[i].Validate(); err != nil {
+			panic(err)
+		}
+	}
+	return cfgs
+}
+
+// ConfigByName resolves one of the named topologies.
+func ConfigByName(name string) (Config, error) {
+	for _, c := range Configs() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("stress: unknown config %q", name)
+}

@@ -1,0 +1,109 @@
+package stress
+
+import (
+	"math/rand"
+
+	"repro/internal/cxl"
+	"repro/internal/device"
+	"repro/internal/rng"
+)
+
+// Generate builds an n-op weighted random program for a topology. The same
+// (config, seed, n) always yields the same program; replaying it yields the
+// same simulation, byte for byte.
+func Generate(cfg Config, seed int64, n int) *Program {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	r := rng.New(seed)
+	p := &Program{Config: cfg.Name, Seed: seed, Fault: device.FaultNone, Ops: make([]Op, 0, n)}
+	for i := 0; i < n; i++ {
+		p.Ops = append(p.Ops, genOp(cfg, r))
+	}
+	return p
+}
+
+var hostOps = []cxl.HostOp{cxl.Ld, cxl.NtLd, cxl.St, cxl.NtSt}
+var d2hReqs = []cxl.D2HReq{cxl.NCP, cxl.NCRead, cxl.NCWrite, cxl.CORead, cxl.COWrite, cxl.CSRead}
+var d2dReqs = []cxl.D2HReq{cxl.NCRead, cxl.NCWrite, cxl.CORead, cxl.COWrite, cxl.CSRead}
+
+func genOp(cfg Config, r *rand.Rand) Op {
+	w := cfg.Weights
+	pick := r.Intn(w.total())
+	o := Op{Core: r.Intn(cfg.Cores), Data: byte(r.Intn(256))}
+	take := func(weight int) bool {
+		if pick < weight {
+			return true
+		}
+		pick -= weight
+		return false
+	}
+	switch {
+	case take(w.Host):
+		o.Kind, o.Host = OpHost, hostOps[r.Intn(len(hostOps))]
+		o.Line = hostIdxAligned(cfg, r)
+	case take(w.HostDev):
+		o.Kind, o.Host, o.Dev = OpHost, hostOps[r.Intn(len(hostOps))], true
+		o.Line = devIdxAligned(cfg, r)
+	case take(w.D2H):
+		o.Kind, o.Req = OpD2H, d2hReqs[r.Intn(len(d2hReqs))]
+		o.Line = r.Intn(cfg.HostLines)
+	case take(w.D2D):
+		o.Kind, o.Req = OpD2D, d2dReqs[r.Intn(len(d2dReqs))]
+		o.Line, o.Dev = r.Intn(cfg.DevLines), true
+	case take(w.CLFlush):
+		o.Kind = OpCLFlush
+		if cfg.DevLines > 0 && r.Intn(3) == 0 {
+			o.Line, o.Dev = devIdxAligned(cfg, r), true
+		} else {
+			o.Line = hostIdxAligned(cfg, r)
+		}
+	case take(w.CLDemote):
+		o.Kind, o.Line = OpCLDemote, r.Intn(cfg.HostLines)
+	case take(w.Bias):
+		o.Kind, o.Dev = OpBiasEnter, true
+		if r.Intn(2) == 0 {
+			o.Kind = OpBiasExit
+		}
+		o.Line = r.Intn(cfg.DevLines)
+	case take(w.DSA):
+		o.Kind = OpDSACopy
+		o.Dev = cfg.DevLines > 0 && r.Intn(2) == 0
+		o.Dev2 = cfg.DevLines > 0 && r.Intn(2) == 0
+		o.Line = idxFor(cfg, r, o.Dev)
+		o.Line2 = idxFor(cfg, r, o.Dev2)
+	case take(w.ZswapStep):
+		o.Kind = OpZswapStep
+		o.Line = r.Intn(cfg.HostLines)
+		o.Line2 = r.Intn(cfg.DevLines)
+	default:
+		o.Kind = OpKsmStep
+		o.Line = r.Intn(cfg.HostLines)
+		o.Line2 = r.Intn(cfg.HostLines)
+	}
+	return o
+}
+
+// hostIdxAligned picks a host-pool index a host core may touch: any line in
+// single-slice configs, slice-0-owned lines under multi-slice interleaving.
+func hostIdxAligned(cfg Config, r *rand.Rand) int {
+	if cfg.Slices > 1 {
+		return r.Intn(cfg.HostLines/cfg.Slices) * cfg.Slices
+	}
+	return r.Intn(cfg.HostLines)
+}
+
+// devIdxAligned is hostIdxAligned for the device pool.
+func devIdxAligned(cfg Config, r *rand.Rand) int {
+	if cfg.Slices > 1 {
+		return r.Intn(cfg.DevLines/cfg.Slices) * cfg.Slices
+	}
+	return r.Intn(cfg.DevLines)
+}
+
+func idxFor(cfg Config, r *rand.Rand, dev bool) int {
+	if dev {
+		return devIdxAligned(cfg, r)
+	}
+	return hostIdxAligned(cfg, r)
+}

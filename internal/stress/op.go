@@ -1,0 +1,222 @@
+package stress
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/cxl"
+	"repro/internal/device"
+	"repro/internal/mem"
+	"repro/internal/phys"
+)
+
+// OpKind classifies one fuzzed operation.
+type OpKind uint8
+
+// Operation kinds. The sub-operation (host op flavor or D2H hint) rides in
+// Op.Host / Op.Req.
+const (
+	// OpHost is a host core ld/nt-ld/st/nt-st; Dev selects the target
+	// region (host DRAM vs the CXL.mem device window).
+	OpHost OpKind = iota
+	// OpD2H is a device read/write of host memory with a cache hint.
+	OpD2H
+	// OpD2D is a device read/write of device memory with a cache hint.
+	OpD2D
+	// OpCLFlush flushes one line out of the host hierarchy.
+	OpCLFlush
+	// OpCLDemote demotes one host line into LLC.
+	OpCLDemote
+	// OpBiasEnter flips one device line into device-bias mode.
+	OpBiasEnter
+	// OpBiasExit returns one device line to host-bias mode.
+	OpBiasExit
+	// OpDSACopy copies one line between two host-visible addresses with the
+	// DSA engine (caches flushed around the copy, as software must).
+	OpDSACopy
+	// OpZswapStep is one Fig. 7 zswap offload step: the device pulls two
+	// host lines with NC-rd, "compresses" them, NC-writes the result into a
+	// device-memory zpool line and NC-Ps a completion record into host LLC.
+	OpZswapStep
+	// OpKsmStep is one Fig. 7 ksm offload step: the device pulls two host
+	// lines with NC-rd, compares them, and NC-Ps the verdict into host LLC.
+	OpKsmStep
+)
+
+var opKindNames = map[OpKind]string{
+	OpHost: "host", OpD2H: "d2h", OpD2D: "d2d", OpCLFlush: "clflush",
+	OpCLDemote: "cldemote", OpBiasEnter: "bias-enter", OpBiasExit: "bias-exit",
+	OpDSACopy: "dsa", OpZswapStep: "zswap-step", OpKsmStep: "ksm-step",
+}
+
+// String names the kind.
+func (k OpKind) String() string {
+	if s, ok := opKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+func parseOpKind(s string) (OpKind, error) {
+	for k, n := range opKindNames {
+		if n == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("stress: unknown op kind %q", s)
+}
+
+// Op is one operation of a fuzzed program. Lines are pool indices, resolved
+// to physical addresses by the runner; Data seeds the 64-byte payload.
+type Op struct {
+	Kind OpKind
+	// Host is the core op flavor for OpHost.
+	Host cxl.HostOp
+	// Req is the cache hint for OpD2H / OpD2D.
+	Req cxl.D2HReq
+	// Core is the issuing host core for host-side ops.
+	Core int
+	// Line is the primary line-pool index (host pool or device pool,
+	// depending on the kind). Line2 is the secondary index where a kind
+	// needs one (DSA destination, offload-step source pair / zpool slot).
+	Line, Line2 int
+	// Dev marks host-side ops (OpHost, OpCLFlush, OpDSACopy endpoints)
+	// that target the device-memory window instead of host DRAM.
+	Dev bool
+	// Dev2 marks the DSA destination region.
+	Dev2 bool
+	// Data seeds the payload pattern for writes.
+	Data byte
+}
+
+// String renders the op in the replay-file format: space-separated
+// "kind sub core line line2 region region2 data".
+func (o Op) String() string {
+	sub := "-"
+	switch o.Kind {
+	case OpHost:
+		sub = o.Host.String()
+	case OpD2H, OpD2D:
+		sub = o.Req.String()
+	}
+	return fmt.Sprintf("%s %s %d %d %d %s %s %#02x",
+		o.Kind, sub, o.Core, o.Line, o.Line2, regionName(o.Dev), regionName(o.Dev2), o.Data)
+}
+
+func regionName(dev bool) string {
+	if dev {
+		return "dev"
+	}
+	return "host"
+}
+
+func parseRegion(s string) (bool, error) {
+	switch s {
+	case "dev":
+		return true, nil
+	case "host":
+		return false, nil
+	}
+	return false, fmt.Errorf("stress: unknown region %q", s)
+}
+
+// parseOp is the inverse of Op.String.
+func parseOp(fields []string) (Op, error) {
+	if len(fields) != 8 {
+		return Op{}, fmt.Errorf("stress: op line needs 8 fields, got %d", len(fields))
+	}
+	var o Op
+	var err error
+	if o.Kind, err = parseOpKind(fields[0]); err != nil {
+		return Op{}, err
+	}
+	switch o.Kind {
+	case OpHost:
+		if o.Host, err = parseHostOp(fields[1]); err != nil {
+			return Op{}, err
+		}
+	case OpD2H, OpD2D:
+		if o.Req, err = parseD2HReq(fields[1]); err != nil {
+			return Op{}, err
+		}
+	default:
+		if fields[1] != "-" {
+			return Op{}, fmt.Errorf("stress: op %s takes no sub-op, got %q", o.Kind, fields[1])
+		}
+	}
+	if o.Core, err = strconv.Atoi(fields[2]); err != nil {
+		return Op{}, fmt.Errorf("stress: bad core %q", fields[2])
+	}
+	if o.Line, err = strconv.Atoi(fields[3]); err != nil {
+		return Op{}, fmt.Errorf("stress: bad line %q", fields[3])
+	}
+	if o.Line2, err = strconv.Atoi(fields[4]); err != nil {
+		return Op{}, fmt.Errorf("stress: bad line2 %q", fields[4])
+	}
+	if o.Dev, err = parseRegion(fields[5]); err != nil {
+		return Op{}, err
+	}
+	if o.Dev2, err = parseRegion(fields[6]); err != nil {
+		return Op{}, err
+	}
+	data, err := strconv.ParseUint(fields[7], 0, 8)
+	if err != nil {
+		return Op{}, fmt.Errorf("stress: bad data byte %q", fields[7])
+	}
+	o.Data = byte(data)
+	return o, nil
+}
+
+func parseHostOp(s string) (cxl.HostOp, error) {
+	for _, op := range []cxl.HostOp{cxl.Ld, cxl.NtLd, cxl.St, cxl.NtSt} {
+		if op.String() == s {
+			return op, nil
+		}
+	}
+	return 0, fmt.Errorf("stress: unknown host op %q", s)
+}
+
+func parseD2HReq(s string) (cxl.D2HReq, error) {
+	for _, r := range []cxl.D2HReq{cxl.NCP, cxl.NCRead, cxl.NCWrite, cxl.CORead, cxl.COWrite, cxl.CSRead} {
+		if r.String() == s {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("stress: unknown D2H hint %q", s)
+}
+
+// Program is one replayable fuzzing run: a named config, the generator
+// seed, an optional planted fault, and the operation list.
+type Program struct {
+	Config string
+	Seed   int64
+	Fault  device.FaultKind
+	Ops    []Op
+}
+
+// payload expands an op's data seed into a full deterministic 64-byte line.
+func payload(data byte, line int) []byte {
+	buf := make([]byte, phys.LineSize)
+	for i := range buf {
+		buf[i] = data ^ byte(i*7) ^ byte(line*31)
+	}
+	return buf
+}
+
+// hostLineAddr maps a host-pool index to its physical line address.
+func hostLineAddr(i int) phys.Addr {
+	return mem.RegionHost0.Base + phys.Addr(i*phys.LineSize)
+}
+
+// devLineAddr maps a device-pool index to its physical line address.
+func devLineAddr(i int) phys.Addr {
+	return mem.RegionDevice.Base + phys.Addr(i*phys.LineSize)
+}
+
+// addrOf resolves a pool index against a region selector.
+func addrOf(i int, dev bool) phys.Addr {
+	if dev {
+		return devLineAddr(i)
+	}
+	return hostLineAddr(i)
+}

@@ -1,0 +1,116 @@
+package stress
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/device"
+)
+
+// replayMagic is the first line of a replay file.
+const replayMagic = "cxlfuzz v1"
+
+// WriteReplay renders the program in the textual replay format:
+//
+//	cxlfuzz v1
+//	config t2-hostbias
+//	seed 42
+//	fault none
+//	op d2h CS-rd 0 12 0 host host 0x5a
+//	...
+//
+// The format round-trips through ReadReplay and is stable, so reproducers
+// can be checked in.
+func WriteReplay(w io.Writer, p *Program) error {
+	if _, err := fmt.Fprintf(w, "%s\nconfig %s\nseed %d\nfault %s\n",
+		replayMagic, p.Config, p.Seed, p.Fault); err != nil {
+		return err
+	}
+	for _, o := range p.Ops {
+		if _, err := fmt.Fprintf(w, "op %s\n", o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadReplay parses a replay file.
+func ReadReplay(r io.Reader) (*Program, error) {
+	sc := bufio.NewScanner(r)
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			s := strings.TrimSpace(sc.Text())
+			if s == "" || strings.HasPrefix(s, "#") {
+				continue
+			}
+			return s, true
+		}
+		return "", false
+	}
+	s, ok := next()
+	if !ok || s != replayMagic {
+		return nil, fmt.Errorf("stress: replay line %d: want header %q", line, replayMagic)
+	}
+	p := &Program{}
+	for {
+		s, ok = next()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(s)
+		switch fields[0] {
+		case "config":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("stress: replay line %d: bad config line", line)
+			}
+			p.Config = fields[1]
+		case "seed":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("stress: replay line %d: bad seed line", line)
+			}
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("stress: replay line %d: %v", line, err)
+			}
+			p.Seed = v
+		case "fault":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("stress: replay line %d: bad fault line", line)
+			}
+			k, err := device.ParseFault(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("stress: replay line %d: %v", line, err)
+			}
+			p.Fault = k
+		case "op":
+			o, err := parseOp(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("stress: replay line %d: %v", line, err)
+			}
+			p.Ops = append(p.Ops, o)
+		default:
+			return nil, fmt.Errorf("stress: replay line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if p.Config == "" {
+		return nil, fmt.Errorf("stress: replay file has no config line")
+	}
+	return p, nil
+}
+
+// ReplayString renders the program as a replay-file string.
+func ReplayString(p *Program) string {
+	var sb strings.Builder
+	if err := WriteReplay(&sb, p); err != nil {
+		panic(err) // strings.Builder cannot fail
+	}
+	return sb.String()
+}

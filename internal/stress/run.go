@@ -1,0 +1,447 @@
+package stress
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/check"
+	"repro/internal/cxl"
+	"repro/internal/device"
+	"repro/internal/host"
+	"repro/internal/phys"
+	"repro/internal/sim"
+	"repro/internal/timing"
+	"repro/internal/trace"
+)
+
+// Failure reports the first invariant violation of a run.
+type Failure struct {
+	// Index is the op index that violated an invariant (-1 for setup or the
+	// final data-consistency sweep).
+	Index int
+	// Op is the violating operation (zero for Index == -1).
+	Op Op
+	// Err is the violated invariant.
+	Err error
+}
+
+// Error renders the failure.
+func (f *Failure) Error() string {
+	if f.Index < 0 {
+		return fmt.Sprintf("stress: final sweep: %v", f.Err)
+	}
+	return fmt.Sprintf("stress: op %d (%s): %v", f.Index, f.Op, f.Err)
+}
+
+// runner executes one program against a freshly built platform.
+//
+// Slice-ownership rules (multi-slice configs): lines are statically
+// interleaved across slices (device.SliceArray.For), and every device-side
+// access is routed through the owning slice. The host core model, however,
+// resolves device state through h.Dev — slice 0 — for HMC recalls, LLC
+// writebacks of device lines and DSA traffic, so host-issued ops are
+// restricted to slice-0-owned lines (the generator enforces this; apply
+// normalizes replayed indices the same way).
+type runner struct {
+	cfg    Config
+	h      *host.Host
+	arr    *device.SliceArray
+	dsa    *host.DSA
+	oracle *check.Oracle
+	mon    *check.Monitor
+	now    sim.Time
+}
+
+func newRunner(cfg Config, fault device.FaultKind) (*runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := timing.Default()
+	h, err := host.New(p, host.Config{LLCBytes: cfg.LLCBytes, LLCWays: cfg.LLCWays, Cores: cfg.Cores})
+	if err != nil {
+		return nil, err
+	}
+	devCfg := device.Config{
+		Type:     cfg.Type,
+		HMCBytes: cfg.HMCBytes, HMCWays: cfg.HMCWays,
+		DMCBytes: cfg.DMCBytes, DMCWays: cfg.DMCWays,
+		DevMemChannels: 2,
+	}
+	arr, err := device.NewSliceArray(p, devCfg, h.Home(), h.CXLLink, cfg.Slices)
+	if err != nil {
+		return nil, err
+	}
+	h.Dev = arr.Slice(0)
+	r := &runner{cfg: cfg, h: h, arr: arr, dsa: h.NewDSA(), oracle: check.NewOracle()}
+	for i := 0; i < arr.N(); i++ {
+		arr.Slice(i).InjectFault(fault)
+	}
+	if cfg.DeviceBiasStart {
+		for i := 0; i < cfg.DevLines/2; i++ {
+			addr := devLineAddr(i)
+			r.arr.For(addr).EnterDeviceBias(phys.Range{Base: addr, Size: phys.LineSize}, 0)
+		}
+	}
+	slices := make([]*device.Device, arr.N())
+	for i := range slices {
+		slices[i] = arr.Slice(i)
+	}
+	r.mon = check.NewMonitor(h, slices...)
+	return r, nil
+}
+
+// Execute runs the program, asserting every invariant after each op, and a
+// data-consistency sweep of every written line at the end. It returns the
+// first failure, or nil for a clean run.
+func Execute(p *Program) *Failure {
+	return execute(p, nil)
+}
+
+// ExecuteTrace is Execute with a transaction tracer attached to every DCOH
+// slice, so a failing run leaves a protocol-level event log.
+func ExecuteTrace(p *Program, tr trace.Tracer) *Failure {
+	return execute(p, tr)
+}
+
+func execute(p *Program, tr trace.Tracer) *Failure {
+	cfg, err := ConfigByName(p.Config)
+	if err != nil {
+		return &Failure{Index: -1, Err: err}
+	}
+	r, err := newRunner(cfg, p.Fault)
+	if err != nil {
+		return &Failure{Index: -1, Err: err}
+	}
+	if tr != nil {
+		for i := 0; i < r.arr.N(); i++ {
+			r.arr.Slice(i).SetTracer(tr)
+		}
+	}
+	for i, op := range p.Ops {
+		issue := r.now
+		done, err := r.apply(op)
+		if err == nil {
+			err = r.mon.Step(issue, done)
+		}
+		if err == nil {
+			err = r.coherence()
+		}
+		if err != nil {
+			return &Failure{Index: i, Op: op, Err: err}
+		}
+		if done > r.now {
+			r.now = done
+		}
+	}
+	if err := r.sweep(); err != nil {
+		return &Failure{Index: -1, Err: err}
+	}
+	return nil
+}
+
+// coherence cross-validates cache states across the host and every slice.
+func (r *runner) coherence() error {
+	for i := 0; i < r.arr.N(); i++ {
+		if err := check.Coherence(r.h, r.arr.Slice(i)); err != nil {
+			if r.arr.N() > 1 {
+				return fmt.Errorf("slice %d: %w", i, err)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// normalize clamps an op's indices into the config's pools so hand-edited
+// replay files and shrunk programs stay in range, and realigns host-issued
+// ops to slice-0-owned lines in multi-slice configs.
+func (r *runner) normalize(o Op) Op {
+	c := &r.cfg
+	o.Core = mod(o.Core, c.Cores)
+	switch o.Kind {
+	case OpHost, OpCLFlush, OpDSACopy:
+		if o.Dev && c.DevLines == 0 {
+			o.Dev = false
+		}
+		if o.Dev2 && c.DevLines == 0 {
+			o.Dev2 = false
+		}
+		o.Line = r.hostIssuedIdx(o.Line, o.Dev)
+		o.Line2 = r.hostIssuedIdx(o.Line2, o.Dev2)
+	case OpCLDemote, OpD2H, OpKsmStep:
+		o.Dev, o.Dev2 = false, false
+		o.Line = mod(o.Line, c.HostLines)
+		o.Line2 = mod(o.Line2, c.HostLines)
+	case OpD2D, OpBiasEnter, OpBiasExit:
+		o.Dev, o.Dev2 = true, true
+		o.Line = mod(o.Line, max(c.DevLines, 1))
+		o.Line2 = mod(o.Line2, max(c.DevLines, 1))
+	case OpZswapStep:
+		o.Line = mod(o.Line, c.HostLines)
+		o.Line2 = mod(o.Line2, max(c.DevLines, 1))
+	}
+	return o
+}
+
+// hostIssuedIdx clamps a pool index for a host-issued access: in-range, and
+// slice-0-owned under multi-slice interleaving.
+func (r *runner) hostIssuedIdx(i int, dev bool) int {
+	pool := r.cfg.HostLines
+	if dev {
+		pool = max(r.cfg.DevLines, 1)
+	}
+	i = mod(i, pool)
+	if r.cfg.Slices > 1 {
+		i -= i % r.cfg.Slices
+	}
+	return i
+}
+
+func mod(i, n int) int {
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return i
+}
+
+// applicable reports whether the op kind is expressible on this topology;
+// inapplicable ops (e.g. D2D in a Type-3 replay file) are skipped rather
+// than failed, so shrinking across configs stays safe.
+func (r *runner) applicable(o Op) bool {
+	c := &r.cfg
+	switch o.Kind {
+	case OpD2H:
+		return c.Type.HasDeviceCache()
+	case OpD2D, OpBiasEnter, OpBiasExit, OpZswapStep:
+		return c.Type == cxl.Type2 && c.DevLines > 0
+	case OpKsmStep:
+		return c.Type.HasDeviceCache()
+	case OpDSACopy:
+		return c.Slices == 1
+	case OpHost, OpCLFlush:
+		return !o.Dev || c.DevLines > 0
+	}
+	return true
+}
+
+// apply executes one op, updating and consulting the data oracle, and
+// returns the op's completion time.
+func (r *runner) apply(o Op) (sim.Time, error) {
+	o = r.normalize(o)
+	if !r.applicable(o) {
+		return r.now, nil
+	}
+	switch o.Kind {
+	case OpHost:
+		return r.applyHost(o)
+	case OpD2H:
+		return r.applyD2H(o)
+	case OpD2D:
+		return r.applyD2D(o)
+	case OpCLFlush:
+		addr := addrOf(o.Line, o.Dev)
+		return r.h.Core(o.Core).CLFlush(addr, r.now), nil
+	case OpCLDemote:
+		return r.applyCLDemote(o)
+	case OpBiasEnter:
+		addr := devLineAddr(o.Line)
+		return r.arr.For(addr).EnterDeviceBias(phys.Range{Base: addr, Size: phys.LineSize}, r.now), nil
+	case OpBiasExit:
+		addr := devLineAddr(o.Line)
+		r.arr.For(addr).ExitDeviceBias(phys.Range{Base: addr, Size: phys.LineSize})
+		return r.now, nil
+	case OpDSACopy:
+		return r.applyDSA(o)
+	case OpZswapStep:
+		return r.applyZswapStep(o)
+	case OpKsmStep:
+		return r.applyKsmStep(o)
+	}
+	return r.now, fmt.Errorf("stress: unknown op kind %v", o.Kind)
+}
+
+func (r *runner) applyHost(o Op) (sim.Time, error) {
+	addr := addrOf(o.Line, o.Dev)
+	var data []byte
+	if o.Host.IsWrite() {
+		data = payload(o.Data, o.Line)
+	}
+	res := r.h.Core(o.Core).Access(o.Host, addr, data, r.now)
+	done := res.Done
+	if res.DeviceDone > done {
+		done = res.DeviceDone
+	}
+	if o.Host.IsWrite() {
+		r.oracle.Write(addr, data)
+		return done, nil
+	}
+	return done, r.oracle.Verify(addr, res.Data)
+}
+
+func (r *runner) applyD2H(o Op) (sim.Time, error) {
+	addr := hostLineAddr(o.Line)
+	var data []byte
+	if o.Req.IsWrite() {
+		data = payload(o.Data, o.Line)
+	}
+	res := r.arr.For(addr).D2H(o.Req, addr, data, r.now)
+	if o.Req.IsWrite() {
+		r.oracle.Write(addr, data)
+		return res.Done, nil
+	}
+	return res.Done, r.oracle.Verify(addr, res.Data)
+}
+
+func (r *runner) applyD2D(o Op) (sim.Time, error) {
+	addr := devLineAddr(o.Line)
+	var data []byte
+	if o.Req.IsWrite() {
+		data = payload(o.Data, o.Line)
+	}
+	res := r.arr.For(addr).D2D(o.Req, addr, data, r.now)
+	if o.Req.IsWrite() {
+		r.oracle.Write(addr, data)
+		return res.Done, nil
+	}
+	return res.Done, r.oracle.Verify(addr, res.Data)
+}
+
+// applyCLDemote installs the line in LLC as Modified with the architectural
+// bytes. Software doing this must first ensure the device cache cannot hold
+// a conflicting copy, so the helper performs the directory-guided recall the
+// core model would on a demand access.
+func (r *runner) applyCLDemote(o Op) (sim.Time, error) {
+	addr := hostLineAddr(o.Line)
+	r.recallHMC(addr)
+	return r.h.Core(o.Core).CLDemote(addr, cache.Modified, r.oracle.Expect(addr), r.now), nil
+}
+
+// recallHMC back-invalidates the owning slice's HMC copy of a host line,
+// landing Modified data in host memory — the snoop the home agent issues on
+// a conflicting host access.
+func (r *runner) recallHMC(addr phys.Addr) {
+	if _, held := r.h.Home().SnoopDevice(addr); !held {
+		return
+	}
+	if st, data, ok := r.arr.For(addr).RecallHMC(addr); ok && st == cache.Modified && data != nil {
+		r.h.Store().WriteLine(addr, data)
+	}
+}
+
+// applyDSA flushes both endpoints out of every cache (the software protocol
+// a DSA user must follow — the engine moves bytes between backing stores,
+// bypassing coherence) and then performs the copy.
+func (r *runner) applyDSA(o Op) (sim.Time, error) {
+	src := addrOf(o.Line, o.Dev)
+	dst := addrOf(o.Line2, o.Dev2)
+	r.flushLine(src, o.Core)
+	r.flushLine(dst, o.Core)
+	_, done := r.dsa.Copy(src, dst, phys.LineSize, r.now, true)
+	r.oracle.Copy(src, dst)
+	return done, nil
+}
+
+// flushLine forces the line's architectural bytes into its backing store
+// and drops every cached copy.
+func (r *runner) flushLine(addr phys.Addr, core int) {
+	r.h.Core(core).CLFlush(addr, r.now)
+	if r.h.AddrMap().IsDevice(addr) {
+		d := r.arr.For(addr)
+		if dmc := d.DMC(); dmc != nil {
+			if l := dmc.Peek(addr); l != nil {
+				if l.State == cache.Modified && l.Data != nil {
+					d.WriteDevMemDirect(addr, l.Data)
+				}
+				d.SetDMCState(addr, cache.Invalid, nil)
+			}
+		}
+		return
+	}
+	r.recallHMC(addr)
+}
+
+// applyZswapStep performs one Fig. 7 zswap store: pull two host pages (one
+// line each here) with NC-rd, "compress" them, NC-write the compressed
+// buffer into a device-memory zpool slot with D2D, and NC-P a completion
+// record into host LLC for the waiting kernel thread.
+func (r *runner) applyZswapStep(o Op) (sim.Time, error) {
+	src1 := hostLineAddr(o.Line)
+	src2 := hostLineAddr(mod(o.Line+1, r.cfg.HostLines))
+	r1 := r.arr.For(src1).D2H(cxl.NCRead, src1, nil, r.now)
+	if err := r.oracle.Verify(src1, r1.Data); err != nil {
+		return r1.Done, err
+	}
+	r2 := r.arr.For(src2).D2H(cxl.NCRead, src2, nil, r1.Done)
+	if err := r.oracle.Verify(src2, r2.Data); err != nil {
+		return r2.Done, err
+	}
+	comp := make([]byte, phys.LineSize)
+	for i := range comp {
+		comp[i] = r1.Data[i] ^ r2.Data[i]
+	}
+	zpool := devLineAddr(o.Line2)
+	r3 := r.arr.For(zpool).D2D(cxl.NCWrite, zpool, comp, r2.Done)
+	r.oracle.Write(zpool, comp)
+	rec := payload(o.Data, o.Line2)
+	recAddr := hostLineAddr(mod(o.Line+2, r.cfg.HostLines))
+	r4 := r.arr.For(recAddr).D2H(cxl.NCP, recAddr, rec, r3.Done)
+	r.oracle.Write(recAddr, rec)
+	return r4.Done, nil
+}
+
+// applyKsmStep performs one Fig. 7 ksm comparison: pull two candidate host
+// lines with NC-rd, compare, and NC-P the verdict into host LLC.
+func (r *runner) applyKsmStep(o Op) (sim.Time, error) {
+	a := hostLineAddr(o.Line)
+	b := hostLineAddr(o.Line2)
+	ra := r.arr.For(a).D2H(cxl.NCRead, a, nil, r.now)
+	if err := r.oracle.Verify(a, ra.Data); err != nil {
+		return ra.Done, err
+	}
+	rb := r.arr.For(b).D2H(cxl.NCRead, b, nil, ra.Done)
+	if err := r.oracle.Verify(b, rb.Data); err != nil {
+		return rb.Done, err
+	}
+	verdict := byte(0)
+	if bytes.Equal(ra.Data, rb.Data) {
+		verdict = 1
+	}
+	rec := make([]byte, phys.LineSize)
+	for i := range rec {
+		rec[i] = verdict
+	}
+	recAddr := hostLineAddr(mod(o.Line+1, r.cfg.HostLines))
+	rc := r.arr.For(recAddr).D2H(cxl.NCP, recAddr, rec, rb.Done)
+	r.oracle.Write(recAddr, rec)
+	return rc.Done, nil
+}
+
+// sweep re-reads every oracle-known line through a coherent path at the end
+// of the run — whatever the caches did, the latest architectural bytes must
+// be observable.
+func (r *runner) sweep() error {
+	lines := r.oracle.Lines()
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, addr := range lines {
+		var got []byte
+		switch {
+		case !r.h.AddrMap().IsDevice(addr):
+			if r.cfg.Type.HasDeviceCache() {
+				got = r.arr.For(addr).D2H(cxl.NCRead, addr, nil, r.now).Data
+			} else {
+				got = r.h.Core(0).Access(cxl.Ld, addr, nil, r.now).Data
+			}
+		case r.cfg.Type == cxl.Type2:
+			got = r.arr.For(addr).D2D(cxl.NCRead, addr, nil, r.now).Data
+		default:
+			got = r.h.Core(0).Access(cxl.Ld, addr, nil, r.now).Data
+		}
+		if err := r.oracle.Verify(addr, got); err != nil {
+			return fmt.Errorf("sweep of %v: %w", addr, err)
+		}
+	}
+	return nil
+}

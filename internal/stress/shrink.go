@@ -1,0 +1,89 @@
+package stress
+
+// Shrink reduces a failing program to a (1-)minimal reproducer with ddmin
+// delta debugging: it partitions the op list into chunks, tries removing
+// each chunk (and each chunk's complement), keeps any subset that still
+// fails, and refines the granularity until no single chunk can be removed.
+// The returned program preserves the original config, seed and fault, so it
+// replays deterministically. Shrink returns the input unchanged if the
+// program does not actually fail.
+func Shrink(p *Program) *Program {
+	fails := func(ops []Op) bool {
+		q := &Program{Config: p.Config, Seed: p.Seed, Fault: p.Fault, Ops: ops}
+		return Execute(q) != nil
+	}
+	if !fails(p.Ops) {
+		return p
+	}
+	ops := ddmin(p.Ops, fails)
+	return &Program{Config: p.Config, Seed: p.Seed, Fault: p.Fault, Ops: ops}
+}
+
+// ddmin is the classic Zeller/Hildebrandt minimizing delta debugger over op
+// sequences.
+func ddmin(ops []Op, fails func([]Op) bool) []Op {
+	n := 2
+	for len(ops) >= 2 {
+		chunks := split(ops, n)
+		reduced := false
+		// Try each chunk alone.
+		for _, c := range chunks {
+			if fails(c) {
+				ops, n, reduced = c, 2, true
+				break
+			}
+		}
+		if reduced {
+			continue
+		}
+		// Try each complement.
+		if n > 2 {
+			for i := range chunks {
+				comp := complement(chunks, i)
+				if fails(comp) {
+					ops, n, reduced = comp, max(n-1, 2), true
+					break
+				}
+			}
+		}
+		if reduced {
+			continue
+		}
+		// Refine granularity.
+		if n >= len(ops) {
+			break
+		}
+		n = min(2*n, len(ops))
+	}
+	return ops
+}
+
+// split partitions ops into n nearly equal contiguous chunks.
+func split(ops []Op, n int) [][]Op {
+	chunks := make([][]Op, 0, n)
+	size := len(ops) / n
+	rem := len(ops) % n
+	start := 0
+	for i := 0; i < n; i++ {
+		end := start + size
+		if i < rem {
+			end++
+		}
+		if end > start {
+			chunks = append(chunks, ops[start:end])
+		}
+		start = end
+	}
+	return chunks
+}
+
+// complement concatenates every chunk except chunk i.
+func complement(chunks [][]Op, i int) []Op {
+	var out []Op
+	for j, c := range chunks {
+		if j != i {
+			out = append(out, c...)
+		}
+	}
+	return out
+}

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/rng"
 )
 
 // Workload identifies a YCSB core workload.
@@ -93,7 +95,7 @@ func NewGenerator(w Workload, dist Distribution, records uint64, seed int64) (*G
 	if w > D {
 		return nil, fmt.Errorf("ycsb: unknown workload %d", w)
 	}
-	g := &Generator{w: w, dist: dist, rng: rand.New(rand.NewSource(seed)), records: records}
+	g := &Generator{w: w, dist: dist, rng: rng.New(seed), records: records}
 	if dist == Zipfian {
 		g.zipf = newZipf(records, 0.99)
 	}
