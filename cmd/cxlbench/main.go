@@ -3,9 +3,15 @@
 // modes), Fig. 5 (H2D Type-2 vs Type-3), Fig. 6 (CXL vs PCIe transfer
 // sweep), Table III (coherence states) and the §V-A write-queue sweep.
 //
+// Experiments run as self-contained jobs over a shared-nothing worker
+// pool (-parallel, default GOMAXPROCS workers); per-job seeds derive from
+// -seed and the job ID, so output is byte-identical for any worker count.
+// Per-job wall-clock and sim-event-rate stats print to stderr at the end.
+//
 // Usage:
 //
-//	cxlbench [-reps N] [fig3|fig4|fig5|fig6|table3|wqsweep|all]
+//	cxlbench [-reps N] [-parallel N | -serial] [-seed S]
+//	         [-bench-json PATH] [fig3|fig4|fig5|fig6|table3|wqsweep|all]
 package main
 
 import (
@@ -18,10 +24,15 @@ import (
 
 func main() {
 	reps := flag.Int("reps", 1000, "repetitions per measurement (the paper uses >= 1000)")
+	parallel := flag.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
+	serial := flag.Bool("serial", false, "run on a single worker (same as -parallel 1)")
+	seed := flag.Int64("seed", cxl2sim.DefaultRootSeed, "root seed for per-job seed derivation")
+	noStats := flag.Bool("no-stats", false, "suppress the per-job stats table on stderr")
+	benchJSON := flag.String("bench-json", "", "write per-job timing stats as JSON to this path")
 	dump := flag.String("dump-params", "", "write the calibrated timing parameters as JSON to this path and exit")
 	csv := flag.Bool("csv", false, "emit fig6 as CSV (plot-friendly) instead of a table")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cxlbench [-reps N] [fig3|fig4|fig5|fig6|table3|wqsweep|all]\n")
+		fmt.Fprintf(os.Stderr, "usage: cxlbench [-reps N] [-parallel N | -serial] [-seed S] [fig3|fig4|fig5|fig6|table3|wqsweep|all]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -35,42 +46,67 @@ func main() {
 		return
 	}
 
+	workers := *parallel
+	if *serial {
+		workers = 1
+	}
+	opts := cxl2sim.JobOptions{Workers: workers, RootSeed: *seed}
+
 	which := "all"
 	if flag.NArg() > 0 {
 		which = flag.Arg(0)
 	}
-	out := os.Stdout
-
-	run := map[string]func(){
-		"fig3": func() { cxl2sim.PrintFig3(out, cxl2sim.RunFig3(*reps)) },
-		"fig4": func() { cxl2sim.PrintFig4(out, cxl2sim.RunFig4(*reps)) },
-		"fig5": func() { cxl2sim.PrintFig5(out, cxl2sim.RunFig5(*reps)) },
-		"fig6": func() {
-			rows := cxl2sim.RunFig6()
-			if *csv {
-				if err := cxl2sim.WriteFig6CSV(out, rows); err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
-				}
-				return
-			}
-			cxl2sim.PrintFig6(out, rows)
-		},
-		"table3":  func() { cxl2sim.PrintTable3(out, cxl2sim.RunTable3()) },
-		"wqsweep": func() { cxl2sim.PrintWriteQueueSweep(out, cxl2sim.RunWriteQueueSweep(nil)) },
-	}
-	order := []string{"table3", "fig3", "fig4", "fig5", "fig6", "wqsweep"}
-
-	if which == "all" {
-		for _, name := range order {
-			run[name]()
+	secs := cxl2sim.ExperimentSections(*reps)
+	if which != "all" {
+		sec, ok := cxl2sim.ExperimentSectionByName(secs, which)
+		if !ok {
+			flag.Usage()
+			os.Exit(2)
 		}
-		return
+		secs = []cxl2sim.ExperimentSection{sec}
 	}
-	fn, ok := run[which]
-	if !ok {
-		flag.Usage()
-		os.Exit(2)
+
+	var results []cxl2sim.JobResult
+	var err error
+	if *csv {
+		// CSV wants the fig6 rows, not the rendered table.
+		sec, ok := cxl2sim.ExperimentSectionByName(secs, "fig6")
+		if !ok {
+			fmt.Fprintln(os.Stderr, "cxlbench: -csv applies to fig6 (or all)")
+			os.Exit(2)
+		}
+		results = cxl2sim.RunJobs(sec.Jobs, opts)
+		if err = cxl2sim.FirstJobError(results); err == nil {
+			err = cxl2sim.WriteFig6CSV(os.Stdout, cxl2sim.CollectFig6Rows(results))
+		}
+	} else {
+		results, err = cxl2sim.RunExperimentSections(os.Stdout, secs, opts)
 	}
-	fn()
+
+	if !*noStats {
+		cxl2sim.PrintJobStats(os.Stderr, results)
+	}
+	if *benchJSON != "" {
+		if jerr := writeBenchJSON(*benchJSON, results, opts); jerr != nil {
+			fmt.Fprintln(os.Stderr, "cxlbench:", jerr)
+			os.Exit(1)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cxlbench:", err)
+		os.Exit(1)
+	}
+}
+
+func writeBenchJSON(path string, results []cxl2sim.JobResult, opts cxl2sim.JobOptions) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	eff := opts.Effective()
+	if err := cxl2sim.WriteJobStatsJSON(f, results, eff.Workers, eff.RootSeed); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

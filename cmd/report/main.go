@@ -4,9 +4,15 @@
 // measurements, and prints them next to the published numbers. The output
 // of `report -full` is the data behind EXPERIMENTS.md.
 //
+// Experiments run as self-contained jobs over a shared-nothing worker
+// pool (-parallel, default GOMAXPROCS workers); per-job seeds derive from
+// -seed and the job ID, so the report is byte-identical for any worker
+// count. Per-job wall-clock and sim-event-rate stats print to stderr at
+// the end.
+//
 // Usage:
 //
-//	report [-reps N] [-full]
+//	report [-reps N] [-full] [-parallel N | -serial] [-seed S] [-bench-json PATH]
 package main
 
 import (
@@ -20,12 +26,44 @@ import (
 func main() {
 	reps := flag.Int("reps", 400, "repetitions per microbenchmark measurement")
 	full := flag.Bool("full", false, "also run the Fig. 8 co-simulations (minutes)")
+	parallel := flag.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
+	serial := flag.Bool("serial", false, "run on a single worker (same as -parallel 1)")
+	seed := flag.Int64("seed", cxl2sim.DefaultRootSeed, "root seed for per-job seed derivation")
+	noStats := flag.Bool("no-stats", false, "suppress the per-job stats table on stderr")
+	benchJSON := flag.String("bench-json", "", "write per-job timing stats as JSON to this path")
 	flag.Parse()
 
 	if !*full {
 		fmt.Fprintln(os.Stderr, "(skipping Fig. 8 co-simulations; pass -full to include them)")
 	}
-	if err := cxl2sim.WriteReport(os.Stdout, *reps, *full); err != nil {
+	workers := *parallel
+	if *serial {
+		workers = 1
+	}
+	results, err := cxl2sim.WriteReportOpts(os.Stdout, cxl2sim.ReportOptions{
+		Reps:     *reps,
+		Full:     *full,
+		Workers:  workers,
+		RootSeed: *seed,
+	})
+	if !*noStats {
+		cxl2sim.PrintJobStats(os.Stderr, results)
+	}
+	if *benchJSON != "" {
+		eff := cxl2sim.JobOptions{Workers: workers, RootSeed: *seed}.Effective()
+		f, cerr := os.Create(*benchJSON)
+		if cerr == nil {
+			cerr = cxl2sim.WriteJobStatsJSON(f, results, eff.Workers, eff.RootSeed)
+			if closeErr := f.Close(); cerr == nil {
+				cerr = closeErr
+			}
+		}
+		if cerr != nil {
+			fmt.Fprintln(os.Stderr, "report:", cerr)
+			os.Exit(1)
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "report:", err)
 		os.Exit(1)
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cxl"
 	"repro/internal/phys"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -61,17 +62,33 @@ var trueD2HOps = []struct {
 // Fig3 measures the latency and bandwidth of true and emulated D2H
 // accesses (Fig. 3 of the paper): NC-rd/CS-rd/NC-wr/CO-wr issued by the
 // device LSU versus nt-ld/ld/nt-st/st issued by a remote-socket core, each
-// against LLC-resident (LLC-1) and LLC-absent (LLC-0) lines.
+// against LLC-resident (LLC-1) and LLC-absent (LLC-0) lines. It is the
+// serial form of Fig3Jobs: one enumeration backs both, so parallel and
+// serial runs produce identical row order.
 func Fig3(cfg Fig3Config) []Fig3Row {
+	return collectRows[Fig3Row](runSerial(Fig3Jobs(cfg)))
+}
+
+// Fig3Jobs returns one self-contained job per Fig. 3 cell, in presentation
+// order. Each job builds its own rig, so jobs are shared-nothing.
+func Fig3Jobs(cfg Fig3Config) []runner.Job {
 	cfg.setDefaults()
-	var rows []Fig3Row
+	var jobs []runner.Job
 	for _, llcHit := range []bool{true, false} {
+		llc := "LLC-0"
+		if llcHit {
+			llc = "LLC-1"
+		}
 		for _, pair := range trueD2HOps {
-			rows = append(rows, measureTrueD2H(pair.req, llcHit, cfg))
-			rows = append(rows, measureEmuD2H(pair.op, llcHit, cfg))
+			req, op, hit := pair.req, pair.op, llcHit
+			jobs = append(jobs,
+				cellJob(fmt.Sprintf("fig3/%s/%s", llc, req), cfg.Reps+cfg.Burst,
+					func(seed int64) Fig3Row { return measureTrueD2H(req, hit, cfg, seed) }),
+				cellJob(fmt.Sprintf("fig3/%s/%s", llc, op), cfg.Reps+cfg.Burst,
+					func(seed int64) Fig3Row { return measureEmuD2H(op, hit, cfg, seed) }))
 		}
 	}
-	return rows
+	return jobs
 }
 
 // primeLLC installs (or ensures the absence of) the target line in LLC,
@@ -85,8 +102,8 @@ func primeLLC(r *Rig, addr phys.Addr, hit bool) {
 	}
 }
 
-func measureTrueD2H(req cxl.D2HReq, llcHit bool, cfg Fig3Config) Fig3Row {
-	r := NewRig(cxl.Type2)
+func measureTrueD2H(req cxl.D2HReq, llcHit bool, cfg Fig3Config, seed int64) Fig3Row {
+	r := NewRigSeeded(cxl.Type2, seed)
 	lat := stats.NewSample(cfg.Reps)
 	for rep := 0; rep < cfg.Reps; rep++ {
 		addr := r.hostLine(rep)
@@ -119,8 +136,8 @@ func measureTrueD2H(req cxl.D2HReq, llcHit bool, cfg Fig3Config) Fig3Row {
 	}
 }
 
-func measureEmuD2H(op cxl.HostOp, llcHit bool, cfg Fig3Config) Fig3Row {
-	r := NewRig(cxl.Type2)
+func measureEmuD2H(op cxl.HostOp, llcHit bool, cfg Fig3Config, seed int64) Fig3Row {
+	r := NewRigSeeded(cxl.Type2, seed)
 	lat := stats.NewSample(cfg.Reps)
 	for rep := 0; rep < cfg.Reps; rep++ {
 		addr := r.hostLine(rep)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cxl"
 	"repro/internal/phys"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -41,19 +42,38 @@ func (c *Fig4Config) setDefaults() {
 }
 
 // Fig4 measures D2D accesses in host- and device-bias modes against DMC
-// hits and misses, alongside the NUMA-emulated equivalents.
+// hits and misses, alongside the NUMA-emulated equivalents. It is the
+// serial form of Fig4Jobs.
 func Fig4(cfg Fig4Config) []Fig4Row {
+	return collectRows[Fig4Row](runSerial(Fig4Jobs(cfg)))
+}
+
+// Fig4Jobs returns one self-contained job per Fig. 4 cell, in presentation
+// order.
+func Fig4Jobs(cfg Fig4Config) []runner.Job {
 	cfg.setDefaults()
-	var rows []Fig4Row
+	ops := cfg.Reps + cfg.Burst
+	var jobs []runner.Job
 	for _, dmcHit := range []bool{true, false} {
+		dmc := "DMC-0"
+		if dmcHit {
+			dmc = "DMC-1"
+		}
 		for _, pair := range trueD2HOps {
+			req, op, hit := pair.req, pair.op, dmcHit
 			for _, devBias := range []bool{false, true} {
-				rows = append(rows, measureD2D(pair.req, dmcHit, devBias, cfg))
+				bias, db := "host-bias", devBias
+				if devBias {
+					bias = "device-bias"
+				}
+				jobs = append(jobs, cellJob(fmt.Sprintf("fig4/%s/%s/%s", dmc, req, bias), ops,
+					func(seed int64) Fig4Row { return measureD2D(req, hit, db, cfg, seed) }))
 			}
-			rows = append(rows, measureEmuD2D(pair.op, dmcHit, cfg))
+			jobs = append(jobs, cellJob(fmt.Sprintf("fig4/%s/%s", dmc, op), ops,
+				func(seed int64) Fig4Row { return measureEmuD2D(op, hit, cfg, seed) }))
 		}
 	}
-	return rows
+	return jobs
 }
 
 // primeDMC brings the target line into DMC in shared state (via a real
@@ -66,8 +86,8 @@ func primeDMC(r *Rig, addr phys.Addr, hit bool) {
 	}
 }
 
-func measureD2D(req cxl.D2HReq, dmcHit, devBias bool, cfg Fig4Config) Fig4Row {
-	r := NewRig(cxl.Type2)
+func measureD2D(req cxl.D2HReq, dmcHit, devBias bool, cfg Fig4Config, seed int64) Fig4Row {
+	r := NewRigSeeded(cxl.Type2, seed)
 	if devBias {
 		r.Dev.EnterDeviceBias(phys.Range{Base: r.devLine(0) &^ 0xFFFFFFF, Size: 1 << 28}, 0)
 	}
@@ -108,8 +128,8 @@ func measureD2D(req cxl.D2HReq, dmcHit, devBias bool, cfg Fig4Config) Fig4Row {
 	}
 }
 
-func measureEmuD2D(op cxl.HostOp, dmcHit bool, cfg Fig4Config) Fig4Row {
-	r := NewRig(cxl.Type2)
+func measureEmuD2D(op cxl.HostOp, dmcHit bool, cfg Fig4Config, seed int64) Fig4Row {
+	r := NewRigSeeded(cxl.Type2, seed)
 	lat := stats.NewSample(cfg.Reps)
 	for rep := 0; rep < cfg.Reps; rep++ {
 		r.Emu.ResetTiming()

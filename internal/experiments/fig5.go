@@ -7,6 +7,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cxl"
 	"repro/internal/phys"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -75,23 +76,33 @@ func (c *Fig5Config) setDefaults() {
 }
 
 // Fig5 measures H2D accesses (host core ld/nt-ld/st/nt-st to device
-// memory) across device personalities and DMC states.
+// memory) across device personalities and DMC states. It is the serial
+// form of Fig5Jobs.
 func Fig5(cfg Fig5Config) []Fig5Row {
-	cfg.setDefaults()
-	var rows []Fig5Row
-	for _, op := range []cxl.HostOp{cxl.Ld, cxl.NtLd, cxl.St, cxl.NtSt} {
-		for _, cs := range Fig5Cases() {
-			rows = append(rows, measureH2D(op, cs, cfg))
-		}
-	}
-	return rows
+	return collectRows[Fig5Row](runSerial(Fig5Jobs(cfg)))
 }
 
-func fig5Rig(cs Fig5Case) *Rig {
-	if cs == CaseT3 {
-		return NewRig(cxl.Type3)
+// Fig5Jobs returns one self-contained job per Fig. 5 cell, in presentation
+// order.
+func Fig5Jobs(cfg Fig5Config) []runner.Job {
+	cfg.setDefaults()
+	ops := cfg.Reps + cfg.Burst
+	var jobs []runner.Job
+	for _, op := range []cxl.HostOp{cxl.Ld, cxl.NtLd, cxl.St, cxl.NtSt} {
+		for _, cs := range Fig5Cases() {
+			op, cs := op, cs
+			jobs = append(jobs, cellJob(fmt.Sprintf("fig5/%s/%s", op, cs), ops,
+				func(seed int64) Fig5Row { return measureH2D(op, cs, cfg, seed) }))
+		}
 	}
-	return NewRig(cxl.Type2)
+	return jobs
+}
+
+func fig5Rig(cs Fig5Case, seed int64) *Rig {
+	if cs == CaseT3 {
+		return NewRigSeeded(cxl.Type3, seed)
+	}
+	return NewRigSeeded(cxl.Type2, seed)
 }
 
 // primeFig5 sets up the device-side state for one access.
@@ -113,8 +124,8 @@ func primeFig5(r *Rig, cs Fig5Case, addr phys.Addr) {
 	}
 }
 
-func measureH2D(op cxl.HostOp, cs Fig5Case, cfg Fig5Config) Fig5Row {
-	r := fig5Rig(cs)
+func measureH2D(op cxl.HostOp, cs Fig5Case, cfg Fig5Config, seed int64) Fig5Row {
+	r := fig5Rig(cs, seed)
 	core := r.Host.Core(0)
 	lat := stats.NewSample(cfg.Reps)
 	for rep := 0; rep < cfg.Reps; rep++ {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cxl"
 	"repro/internal/pcie"
 	"repro/internal/phys"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -69,10 +70,21 @@ type Fig6Row struct {
 }
 
 // Fig6 sweeps transfer sizes over every mechanism in both directions
-// (PCIe-DMA is omitted for D2H, as on the real card, §V-D).
+// (PCIe-DMA is omitted for D2H, as on the real card, §V-D). It is the
+// serial form of Fig6Jobs.
 func Fig6() []Fig6Row {
-	var rows []Fig6Row
+	return collectRows[Fig6Row](runSerial(Fig6Jobs()))
+}
+
+// Fig6Jobs returns one self-contained job per (mechanism, direction)
+// curve, each sweeping all transfer sizes, in presentation order.
+func Fig6Jobs() []runner.Job {
+	var jobs []runner.Job
 	for _, d2h := range []bool{false, true} {
+		dir := "H2D"
+		if d2h {
+			dir = "D2H"
+		}
 		for _, mech := range Fig6Mechanisms() {
 			if d2h && mech == MechPCIeDMA {
 				continue // Agilex-7 lacks a D2H DMA IP (§V-D)
@@ -80,16 +92,22 @@ func Fig6() []Fig6Row {
 			if d2h && mech == MechCXLDSA {
 				continue // DSA is a host-side engine
 			}
-			for _, size := range Fig6Sizes() {
-				rows = append(rows, measureFig6(mech, d2h, size))
-			}
+			mech, d2h := mech, d2h
+			jobs = append(jobs, sliceJob(fmt.Sprintf("fig6/%s/%s", dir, mech), len(Fig6Sizes()),
+				func(seed int64) []Fig6Row {
+					var rows []Fig6Row
+					for _, size := range Fig6Sizes() {
+						rows = append(rows, measureFig6(mech, d2h, size, seed))
+					}
+					return rows
+				}))
 		}
 	}
-	return rows
+	return jobs
 }
 
-func measureFig6(mech Fig6Mechanism, d2h bool, size int) Fig6Row {
-	r := NewRig(cxl.Type2)
+func measureFig6(mech Fig6Mechanism, d2h bool, size int, seed int64) Fig6Row {
+	r := NewRigSeeded(cxl.Type2, seed)
 	ep := pcie.NewEndpoint(r.P)
 	var done sim.Time
 	switch mech {
@@ -183,6 +201,13 @@ func measureCXLD2HRead(r *Rig, size int) sim.Time {
 // to host LLC via DDIO, §V-D).
 func measureCXLD2HPush(r *Rig, size int) sim.Time {
 	return r.Dev.WriteHostBlock(cxl.NCP, r.hostLine(0), nil, size, 0)
+}
+
+// Fig6Collect concatenates Fig6Jobs results into rows in job order — for
+// callers (like the CSV exporter) that need the rows rather than the
+// rendered table.
+func Fig6Collect(results []runner.Result) []Fig6Row {
+	return collectRows[Fig6Row](results)
 }
 
 // PrintFig6 renders the rows.

@@ -14,6 +14,7 @@ import (
 	"repro/internal/offload"
 	"repro/internal/phys"
 	"repro/internal/rng"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/timing"
@@ -124,6 +125,9 @@ type Fig8Diag struct {
 	SwapOuts, MajorFaults uint64
 	Writebacks            uint64
 	BackingLoads          uint64
+	// EngineEvents is the discrete-event engine's dispatch count for the
+	// run — the parallel runner's sim-event-rate stat.
+	EngineEvents uint64
 }
 
 // Fig8Zswap runs the zswap scenario: 2 Redis servers + kswapd sharing a
@@ -262,6 +266,7 @@ func Fig8ZswapDiag(v Fig8Variant, w ycsb.Workload, cfg Fig8Config) (Fig8Row, Fig
 		KswapdBusyPct: 100 * float64(h.Core(0).Sched.Busy()) / float64(cfg.Duration),
 		SwapOuts:      mm.Stats().SwapOuts,
 		MajorFaults:   mm.Stats().MajorFaults,
+		EngineEvents:  eng.Executed(),
 	}
 	faultAll := stats.NewSample(256)
 	cleanAll := stats.NewSample(4096)
@@ -421,6 +426,7 @@ func Fig8KsmDiag(v Fig8Variant, w ycsb.Workload, cfg Fig8Config) (Fig8Row, Fig8D
 		P99Core0:      servers[0].P99(),
 		P99Core1:      servers[1].P99(),
 		KswapdBusyPct: 100 * float64(h.Core(0).Sched.Busy()) / float64(cfg.Duration),
+		EngineEvents:  eng.Executed(),
 	}
 	if scanner != nil {
 		st := scanner.Stats()
@@ -435,25 +441,71 @@ func Fig8KsmDiag(v Fig8Variant, w ycsb.Workload, cfg Fig8Config) (Fig8Row, Fig8D
 }
 
 // Fig8 runs one feature across all variants and workloads, filling in the
-// baseline-normalized p99 like the paper's figure.
+// baseline-normalized p99 like the paper's figure. It is the serial form
+// of Fig8Jobs, pinned to the calibrated seed so the legacy paths
+// (kvsbench, the calibration workflow) keep their published numbers.
 func Fig8(feature string, workloads []ycsb.Workload, cfg Fig8Config) []Fig8Row {
+	if cfg.Seed == 0 {
+		cfg.Seed = seedFig8Calibrated
+	}
+	return Fig8Collect(runSerial(Fig8Jobs(feature, workloads, cfg)))
+}
+
+// Fig8Jobs returns one self-contained co-simulation job per (workload,
+// variant), baseline first, in the paper's order. When cfg.Seed is zero
+// each job runs under its derived seed (rootSeed × job ID through
+// internal/rng); a non-zero cfg.Seed pins every run, which is what the
+// calibration uses.
+func Fig8Jobs(feature string, workloads []ycsb.Workload, cfg Fig8Config) []runner.Job {
 	if len(workloads) == 0 {
 		workloads = ycsb.Workloads()
 	}
-	run := Fig8Zswap
+	run := Fig8ZswapDiag
 	if feature == "ksm" {
-		run = Fig8Ksm
+		run = Fig8KsmDiag
 	}
-	var rows []Fig8Row
+	var jobs []runner.Job
 	for _, w := range workloads {
-		base := run(Baseline, w, cfg)
-		base.NormP99 = 1
-		rows = append(rows, base)
-		for _, v := range Fig8Variants()[1:] {
-			r := run(v, w, cfg)
-			r.NormP99 = r.P99us / base.P99us
-			rows = append(rows, r)
+		for _, v := range Fig8Variants() {
+			w, v := w, v
+			id := fmt.Sprintf("fig8/%s/%s/%s", feature, w, v)
+			jobs = append(jobs, runner.Job{ID: id, Run: func(ctx *runner.Ctx) (any, error) {
+				c := cfg
+				if c.Seed == 0 {
+					c.Seed = ctx.Seed
+				}
+				row, _, events := fig8RunCounted(run, v, w, c)
+				ctx.AddEvents(events)
+				return []Fig8Row{row}, nil
+			}})
 		}
+	}
+	return jobs
+}
+
+// fig8Run is the signature shared by Fig8ZswapDiag and Fig8KsmDiag.
+type fig8Run = func(Fig8Variant, ycsb.Workload, Fig8Config) (Fig8Row, Fig8Diag)
+
+// fig8RunCounted runs one co-simulation and reports its engine's
+// dispatched-event count for the runner's event-rate stat.
+func fig8RunCounted(run fig8Run, v Fig8Variant, w ycsb.Workload, cfg Fig8Config) (Fig8Row, Fig8Diag, uint64) {
+	row, diag := run(v, w, cfg)
+	return row, diag, diag.EngineEvents
+}
+
+// Fig8Collect assembles job results (in Fig8Jobs order) into rows,
+// filling in the baseline-normalized p99: within each workload the
+// baseline job precedes its variants, so normalization is a single pass.
+func Fig8Collect(results []runner.Result) []Fig8Row {
+	rows := collectRows[Fig8Row](results)
+	var baseP99 float64
+	for i := range rows {
+		if rows[i].Variant == Baseline {
+			baseP99 = rows[i].P99us
+			rows[i].NormP99 = 1
+			continue
+		}
+		rows[i].NormP99 = rows[i].P99us / baseP99
 	}
 	return rows
 }

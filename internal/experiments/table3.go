@@ -6,6 +6,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cxl"
 	"repro/internal/phys"
+	"repro/internal/runner"
 )
 
 // Table3Row is one cell row of Table III: the HMC and LLC cache-line states
@@ -19,35 +20,51 @@ type Table3Row struct {
 
 // Table3 reproduces Table III by driving every D2H request type against
 // every initial placement on a live system and reading the resulting
-// coherence states back (the paper's cross-validation methodology).
+// coherence states back (the paper's cross-validation methodology). It is
+// the serial form of Table3Jobs.
 func Table3() []Table3Row {
-	var rows []Table3Row
+	return collectRows[Table3Row](runSerial(Table3Jobs()))
+}
+
+// Table3Jobs returns one self-contained job per D2H request type, each
+// covering all three initial placements, in presentation order.
+func Table3Jobs() []runner.Job {
 	reqs := []cxl.D2HReq{cxl.NCP, cxl.NCRead, cxl.NCWrite, cxl.CORead, cxl.COWrite, cxl.CSRead}
+	var jobs []runner.Job
 	for _, req := range reqs {
-		for _, initial := range []string{"HMC hit", "LLC hit", "LLC miss"} {
-			r := NewRig(cxl.Type2)
-			addr := r.hostLine(1)
-			r.Host.Store().WriteLine(addr, make([]byte, phys.LineSize))
-			switch initial {
-			case "HMC hit":
-				// CS-read warms HMC; the methodology then flushes the LLC
-				// copy the warm-up may have created (§V).
-				r.Dev.D2H(cxl.CSRead, addr, nil, 0)
-				r.Host.LLC().Invalidate(addr)
-			case "LLC hit":
-				r.Host.Core(0).CLDemote(addr, cache.Exclusive, nil, 0)
-			case "LLC miss":
-			}
-			r.Dev.D2H(req, addr, make([]byte, phys.LineSize), 0)
-			row := Table3Row{Req: req, Initial: initial}
-			if l := r.Dev.HMC().Peek(addr); l.Valid() {
-				row.HMCState = l.State
-			}
-			if l := r.Host.LLC().Peek(addr); l.Valid() {
-				row.LLCState = l.State
-			}
-			rows = append(rows, row)
+		req := req
+		jobs = append(jobs, sliceJob("table3/"+req.String(), 3,
+			func(seed int64) []Table3Row { return table3Req(req, seed) }))
+	}
+	return jobs
+}
+
+// table3Req drives one request type against every initial placement.
+func table3Req(req cxl.D2HReq, seed int64) []Table3Row {
+	var rows []Table3Row
+	for _, initial := range []string{"HMC hit", "LLC hit", "LLC miss"} {
+		r := NewRigSeeded(cxl.Type2, seed)
+		addr := r.hostLine(1)
+		r.Host.Store().WriteLine(addr, make([]byte, phys.LineSize))
+		switch initial {
+		case "HMC hit":
+			// CS-read warms HMC; the methodology then flushes the LLC
+			// copy the warm-up may have created (§V).
+			r.Dev.D2H(cxl.CSRead, addr, nil, 0)
+			r.Host.LLC().Invalidate(addr)
+		case "LLC hit":
+			r.Host.Core(0).CLDemote(addr, cache.Exclusive, nil, 0)
+		case "LLC miss":
 		}
+		r.Dev.D2H(req, addr, make([]byte, phys.LineSize), 0)
+		row := Table3Row{Req: req, Initial: initial}
+		if l := r.Dev.HMC().Peek(addr); l.Valid() {
+			row.HMCState = l.State
+		}
+		if l := r.Host.LLC().Peek(addr); l.Valid() {
+			row.LLCState = l.State
+		}
+		rows = append(rows, row)
 	}
 	return rows
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/offload"
 	"repro/internal/phys"
 	"repro/internal/rng"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/timing"
 	"repro/internal/zswap"
@@ -29,26 +30,37 @@ type Table4Row struct {
 
 // Table4 measures the compression-offload latency breakdown for the
 // pcie-rdma, pcie-dma and cxl backends over a representative 4 KB page.
+// It is the serial form of Table4Jobs.
 func Table4() []Table4Row {
+	return collectRows[Table4Row](runSerial(Table4Jobs()))
+}
+
+// Table4Jobs returns one self-contained job per backend. Each builds its
+// own host + platform; the representative page always comes from the
+// calibration constant SeedTable4Page (its content is part of the
+// calibration), not the job's derived seed.
+func Table4Jobs() []runner.Job {
+	var jobs []runner.Job
+	for _, v := range []offload.Variant{offload.PCIeRDMA, offload.PCIeDMA, offload.CXL} {
+		v := v
+		jobs = append(jobs, cellJob("table4/"+v.String(), 1,
+			func(seed int64) Table4Row { return table4Backend(v) }))
+	}
+	return jobs
+}
+
+func table4Backend(v offload.Variant) Table4Row {
 	h := host.MustNew(timing.Default(), host.Config{LLCBytes: 8 << 20, LLCWays: 16, Cores: 8})
 	if _, err := h.Attach(device.DefaultConfig()); err != nil {
 		panic(err)
 	}
 	pl := offload.NewPlatform(h)
-	rng := rng.New(SeedTable4Page)
-	page := lzc.SyntheticPage(rng, phys.PageSize, 0.7)
+	page := lzc.SyntheticPage(rng.New(SeedTable4Page), phys.PageSize, 0.7)
 	src := phys.Addr(0x40000)
 	h.Store().Write(src, page)
-
-	var rows []Table4Row
-	for _, v := range []offload.Variant{offload.PCIeRDMA, offload.PCIeDMA, offload.CXL} {
-		h.ResetTiming()
-		pl.EP.ResetTiming()
-		b := offload.NewZswapBackend(v, pl)
-		res := b.Store(page, src, 0, 0)
-		rows = append(rows, breakdownRow(b.Name(), res.Breakdown))
-	}
-	return rows
+	b := offload.NewZswapBackend(v, pl)
+	res := b.Store(page, src, 0, 0)
+	return breakdownRow(b.Name(), res.Breakdown)
 }
 
 func breakdownRow(name string, b zswap.Breakdown) Table4Row {
@@ -99,45 +111,61 @@ type WriteQueueRow struct {
 
 // WriteQueueSweep measures st / nt-st (emulated) and CO-wr / NC-wr (true
 // CXL) write bandwidth over growing burst lengths, all against LLC-miss
-// lines.
+// lines. It is the serial form of WriteQueueSweepJobs.
 func WriteQueueSweep(ns []int) []WriteQueueRow {
+	return collectRows[WriteQueueRow](runSerial(WriteQueueSweepJobs(ns)))
+}
+
+// WriteQueueSweepJobs returns one self-contained job per burst length,
+// each measuring all four access kinds, in sweep order. nil uses the
+// default burst ladder.
+func WriteQueueSweepJobs(ns []int) []runner.Job {
 	if len(ns) == 0 {
 		ns = []int{16, 32, 64, 128, 256, 512, 1024}
 	}
-	var rows []WriteQueueRow
+	var jobs []runner.Job
 	for _, n := range ns {
-		for _, pair := range []struct {
-			req    cxl.D2HReq
-			isTrue bool
-		}{{cxl.COWrite, true}, {cxl.NCWrite, true}} {
-			r := NewRig(cxl.Type2)
-			r.Host.ResetTiming()
-			var last sim.Time
-			for i := 0; i < n; i++ {
-				res := r.Dev.D2H(pair.req, r.hostLine(i), nil, 0)
-				if res.Done > last {
-					last = res.Done
-				}
+		n := n
+		jobs = append(jobs, sliceJob(fmt.Sprintf("wqsweep/N%d", n), 4*n,
+			func(seed int64) []WriteQueueRow { return writeQueuePoint(n, seed) }))
+	}
+	return jobs
+}
+
+// writeQueuePoint measures all four access kinds at one burst length.
+func writeQueuePoint(n int, seed int64) []WriteQueueRow {
+	var rows []WriteQueueRow
+	for _, pair := range []struct {
+		req    cxl.D2HReq
+		isTrue bool
+	}{{cxl.COWrite, true}, {cxl.NCWrite, true}} {
+		r := NewRigSeeded(cxl.Type2, seed)
+		r.Host.ResetTiming()
+		var last sim.Time
+		for i := 0; i < n; i++ {
+			res := r.Dev.D2H(pair.req, r.hostLine(i), nil, 0)
+			if res.Done > last {
+				last = res.Done
 			}
-			rows = append(rows, WriteQueueRow{
-				Label: pair.req.String(), N: n, IsTrue: true,
-				BWGBs: float64(n*phys.LineSize) / last.Seconds() / 1e9,
-			})
 		}
-		for _, op := range []cxl.HostOp{cxl.St, cxl.NtSt} {
-			r := NewRig(cxl.Type2)
-			var last sim.Time
-			for i := 0; i < n; i++ {
-				done := r.Emu.D2H(op, r.hostLine(i), 0)
-				if done > last {
-					last = done
-				}
+		rows = append(rows, WriteQueueRow{
+			Label: pair.req.String(), N: n, IsTrue: true,
+			BWGBs: float64(n*phys.LineSize) / last.Seconds() / 1e9,
+		})
+	}
+	for _, op := range []cxl.HostOp{cxl.St, cxl.NtSt} {
+		r := NewRigSeeded(cxl.Type2, seed)
+		var last sim.Time
+		for i := 0; i < n; i++ {
+			done := r.Emu.D2H(op, r.hostLine(i), 0)
+			if done > last {
+				last = done
 			}
-			rows = append(rows, WriteQueueRow{
-				Label: op.String(), N: n,
-				BWGBs: float64(n*phys.LineSize) / last.Seconds() / 1e9,
-			})
 		}
+		rows = append(rows, WriteQueueRow{
+			Label: op.String(), N: n,
+			BWGBs: float64(n*phys.LineSize) / last.Seconds() / 1e9,
+		})
 	}
 	return rows
 }

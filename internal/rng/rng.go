@@ -27,6 +27,15 @@ func New(seed int64) *rand.Rand {
 // user-visible seed must fan out to several components without the streams
 // aliasing each other.
 func Derive(master int64, path string) *rand.Rand {
-	h := xxhash.Sum64([]byte(path), uint64(master))
-	return New(int64(h))
+	return New(DeriveSeed(master, path))
+}
+
+// DeriveSeed is the seed Derive would construct its stream from: a pure
+// function of (master, path) and nothing else. The parallel experiment
+// runner uses it to give every job a seed that depends only on the root
+// seed and the job's identity — never on worker count, goroutine
+// scheduling or completion order — so a suite run is reproducible from one
+// integer regardless of how it was parallelized.
+func DeriveSeed(master int64, path string) int64 {
+	return int64(xxhash.Sum64([]byte(path), uint64(master)))
 }

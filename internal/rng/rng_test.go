@@ -24,6 +24,25 @@ func TestDeriveStreamsIndependent(t *testing.T) {
 	}
 }
 
+// TestDeriveSeedMatchesDerive pins that DeriveSeed is exactly the seed
+// behind Derive, and that it separates both masters and paths — the
+// property the parallel runner's per-job seeding rests on.
+func TestDeriveSeedMatchesDerive(t *testing.T) {
+	want := Derive(42, "alpha")
+	got := New(DeriveSeed(42, "alpha"))
+	for i := 0; i < 64; i++ {
+		if want.Uint64() != got.Uint64() {
+			t.Fatal("DeriveSeed does not reproduce Derive's stream")
+		}
+	}
+	if DeriveSeed(42, "alpha") == DeriveSeed(42, "beta") {
+		t.Fatal("distinct paths collided")
+	}
+	if DeriveSeed(42, "alpha") == DeriveSeed(43, "alpha") {
+		t.Fatal("distinct masters collided")
+	}
+}
+
 func TestDeriveReproducible(t *testing.T) {
 	a, b := Derive(42, "alpha"), Derive(42, "alpha")
 	for i := 0; i < 64; i++ {

@@ -1,0 +1,124 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// PrintStats renders the per-job wall-clock and simulated-event-rate table
+// in job-submission order, with a totals line. It is the human-facing end
+// of the perf trajectory; WriteStatsJSON is the machine-facing one.
+func PrintStats(w io.Writer, results []Result) {
+	fmt.Fprintf(w, "\nper-job stats\n")
+	fmt.Fprintf(w, "%-28s%12s%12s%14s  %s\n", "job", "wall(ms)", "events", "events/s", "status")
+	var wall time.Duration
+	var events uint64
+	failed := 0
+	for _, r := range results {
+		status := "ok"
+		if r.Err != nil {
+			status = "FAILED"
+			if r.Panicked {
+				status = "PANICKED"
+			}
+			failed++
+		}
+		fmt.Fprintf(w, "%-28s%12.2f%12d%14.3g  %s\n",
+			r.ID, float64(r.Wall.Microseconds())/1000, r.Events, r.EventsPerSec(), status)
+		wall += r.Wall
+		events += r.Events
+	}
+	fmt.Fprintf(w, "%-28s%12.2f%12d%14s  %d job(s), %d failed\n",
+		"total (cpu)", float64(wall.Microseconds())/1000, events, "", len(results), failed)
+}
+
+// JobStat is the JSON shape of one job's timing, the unit of the
+// BENCH_experiments.json artifact.
+type JobStat struct {
+	ID           string  `json:"id"`
+	Group        string  `json:"group"`
+	WallMS       float64 `json:"wall_ms"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Error        string  `json:"error,omitempty"`
+	Panicked     bool    `json:"panicked,omitempty"`
+}
+
+// GroupStat aggregates one job group (the prefix before the first '/').
+type GroupStat struct {
+	Group  string  `json:"group"`
+	Jobs   int     `json:"jobs"`
+	WallMS float64 `json:"wall_ms"`
+	Events uint64  `json:"events"`
+}
+
+// BenchReport is the artifact document: per-job rows in submission order
+// plus per-group aggregates in sorted-key order. The group aggregation is
+// built from a map, so its keys MUST be sorted before rendering —
+// otherwise two runs of the same suite would emit differently-ordered
+// JSON and the byte-identical-output guarantee would be unverifiable.
+type BenchReport struct {
+	Workers     int         `json:"workers"`
+	RootSeed    int64       `json:"root_seed"`
+	TotalWallMS float64     `json:"total_wall_ms"`
+	Jobs        []JobStat   `json:"jobs"`
+	Groups      []GroupStat `json:"groups"`
+}
+
+// groupOf extracts a job's group: the ID prefix before the first '/'.
+func groupOf(id string) string {
+	if i := strings.IndexByte(id, '/'); i >= 0 {
+		return id[:i]
+	}
+	return id
+}
+
+// NewBenchReport assembles the artifact document from a finished run.
+func NewBenchReport(results []Result, workers int, rootSeed int64) BenchReport {
+	rep := BenchReport{Workers: workers, RootSeed: rootSeed}
+	byGroup := make(map[string]*GroupStat)
+	for _, r := range results {
+		ms := float64(r.Wall.Microseconds()) / 1000
+		js := JobStat{
+			ID:           r.ID,
+			Group:        groupOf(r.ID),
+			WallMS:       ms,
+			Events:       r.Events,
+			EventsPerSec: r.EventsPerSec(),
+			Panicked:     r.Panicked,
+		}
+		if r.Err != nil {
+			js.Error = r.Err.Error()
+		}
+		rep.Jobs = append(rep.Jobs, js)
+		rep.TotalWallMS += ms
+		g, ok := byGroup[js.Group]
+		if !ok {
+			g = &GroupStat{Group: js.Group}
+			byGroup[js.Group] = g
+		}
+		g.Jobs++
+		g.WallMS += ms
+		g.Events += r.Events
+	}
+	keys := make([]string, 0, len(byGroup))
+	for k := range byGroup {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // map iteration order must not leak into the artifact
+	for _, k := range keys {
+		rep.Groups = append(rep.Groups, *byGroup[k])
+	}
+	return rep
+}
+
+// WriteStatsJSON writes the artifact document as indented JSON.
+func WriteStatsJSON(w io.Writer, results []Result, workers int, rootSeed int64) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(NewBenchReport(results, workers, rootSeed))
+}

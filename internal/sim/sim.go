@@ -123,12 +123,20 @@ func (e *Engine) At(t Time, fn func()) {
 	e.events.pushEvent(event{when: t, seq: e.seq, fn: fn})
 }
 
-// After schedules fn to run d after the current time.
+// After schedules fn to run d after the current time. A delay so large
+// that now+d would overflow the int64 clock saturates at Forever instead of
+// wrapping negative (which would panic blaming a scheduling-in-the-past
+// bug that does not exist); an event at Forever never fires under RunUntil
+// with an earlier deadline, which is what "effectively never" means here.
 func (e *Engine) After(d Time, fn func()) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
-	e.At(e.now+d, fn)
+	t := e.now + d
+	if t < e.now { // overflow: saturate rather than wrap
+		t = Forever
+	}
+	e.At(t, fn)
 }
 
 // Stop makes Run return after the currently executing event completes.

@@ -151,6 +151,36 @@ func TestEnginePastSchedulePanics(t *testing.T) {
 	e.At(50, func() {})
 }
 
+// TestEngineAfterNearForeverSaturates is the regression test for the
+// After overflow: scheduling a delay near Forever from a non-zero clock
+// used to wrap e.now+d negative and panic with a misleading
+// "scheduling event in the past". The sum must saturate at Forever, and
+// the saturated event must behave like any other never-reached timeout:
+// invisible to RunUntil with an earlier deadline.
+func TestEngineAfterNearForeverSaturates(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {})
+	e.Run() // now = 100, so now + Forever would wrap
+
+	fired := false
+	e.After(Forever, func() { fired = true })
+	e.After(Forever-1, func() {}) // any near-Forever delay, not just the exact constant
+	if got := e.Pending(); got != 2 {
+		t.Fatalf("Pending = %d, want 2", got)
+	}
+	if end := e.RunUntil(Forever - 1); end != 100 {
+		t.Fatalf("RunUntil dispatched a saturated event early (now = %v)", end)
+	}
+	if fired {
+		t.Fatal("saturated event fired before Forever")
+	}
+	// At the very end of time the saturated events do run, in FIFO order.
+	e.RunUntil(Forever)
+	if !fired {
+		t.Fatal("saturated event never fired at Forever")
+	}
+}
+
 func TestEngineRandomOrderProperty(t *testing.T) {
 	// Property: regardless of insertion order, dispatch order is sorted by
 	// (time, insertion sequence).

@@ -61,6 +61,38 @@ func TestEmptySampleBehavior(t *testing.T) {
 	mustPanic(t, func() { s.P99() })
 }
 
+// TestEmptyOrderStatPanicMessages pins the panic values themselves: every
+// order statistic on an empty sample must raise the documented
+// "stats: ..." message, not a raw index-out-of-range from the backing
+// slice (which Min/Max once did).
+func TestEmptyOrderStatPanicMessages(t *testing.T) {
+	s := NewSample(0)
+	cases := []struct {
+		name string
+		fn   func()
+		want string
+	}{
+		{"Min", func() { s.Min() }, "stats: min of empty sample"},
+		{"Max", func() { s.Max() }, "stats: max of empty sample"},
+		{"Quantile", func() { s.Quantile(0.5) }, "stats: quantile of empty sample"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("expected panic")
+				}
+				msg, ok := r.(string)
+				if !ok || msg != c.want {
+					t.Fatalf("panic = %v, want %q", r, c.want)
+				}
+			}()
+			c.fn()
+		})
+	}
+}
+
 // TestSingleObservationSummary: with one observation every order statistic
 // collapses to it and the spread is zero.
 func TestSingleObservationSummary(t *testing.T) {

@@ -97,14 +97,22 @@ func (s *Sample) Median() float64 { return s.Quantile(0.5) }
 // P99 reports the 0.99-quantile — the paper's tail-latency metric (§VII).
 func (s *Sample) P99() float64 { return s.Quantile(0.99) }
 
-// Min reports the smallest observation; it panics on an empty sample.
+// Min reports the smallest observation; like Quantile, it panics with a
+// clear message on an empty sample (not a raw index error).
 func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		panic("stats: min of empty sample")
+	}
 	s.ensureSorted()
 	return s.xs[0]
 }
 
-// Max reports the largest observation; it panics on an empty sample.
+// Max reports the largest observation; like Quantile, it panics with a
+// clear message on an empty sample (not a raw index error).
 func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		panic("stats: max of empty sample")
+	}
 	s.ensureSorted()
 	return s.xs[len(s.xs)-1]
 }

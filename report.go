@@ -6,30 +6,104 @@ import (
 
 	cxlpkg "repro/internal/cxl"
 	"repro/internal/experiments"
+	"repro/internal/runner"
 	"repro/internal/ycsb"
 )
+
+// ReportOptions tunes WriteReportOpts. Zero values take the defaults noted
+// on each field.
+type ReportOptions struct {
+	// Reps is the repetition count per microbenchmark measurement
+	// (0 keeps the paper's 1000).
+	Reps int
+	// Full also runs the Fig. 8 co-simulations (minutes).
+	Full bool
+	// Workers sizes the worker pool: 1 runs serially on the calling
+	// goroutine, 0 (or negative) uses GOMAXPROCS. The rendered report is
+	// byte-identical for any worker count.
+	Workers int
+	// RootSeed is the root of the per-job seed derivation (0 takes the
+	// default root seed). Per-job seeds depend only on (RootSeed, job ID),
+	// never on scheduling.
+	RootSeed int64
+}
 
 // WriteReport writes the paper-vs-measured comparison as a markdown table:
 // it runs every microbenchmark experiment (and, when full is set, the
 // Fig. 8 co-simulations), computes the paper's headline ratios from the
 // fresh measurements, and prints them next to the published numbers. reps
 // is the repetition count per microbenchmark measurement; `report -full`
-// produces the data behind EXPERIMENTS.md.
+// produces the data behind EXPERIMENTS.md. It is the serial form of
+// WriteReportOpts.
 func WriteReport(w io.Writer, reps int, full bool) error {
+	_, err := WriteReportOpts(w, ReportOptions{Reps: reps, Full: full, Workers: 1})
+	return err
+}
+
+// WriteReportOpts runs the report's experiments as self-contained jobs on
+// one shared worker pool and renders the comparison table. It returns the
+// per-job results for stats reporting (wall clock, event rate). Rendering
+// happens after all jobs complete, in job order, so output bytes do not
+// depend on the worker count.
+func WriteReportOpts(w io.Writer, o ReportOptions) ([]runner.Result, error) {
+	type group struct {
+		name string
+		jobs []runner.Job
+	}
+	groups := []group{
+		{"fig3", experiments.Fig3Jobs(experiments.Fig3Config{Reps: o.Reps})},
+		{"fig4", experiments.Fig4Jobs(experiments.Fig4Config{Reps: o.Reps})},
+		{"fig5", experiments.Fig5Jobs(experiments.Fig5Config{Reps: o.Reps})},
+		{"fig6", experiments.Fig6Jobs()},
+		{"table4", experiments.Table4Jobs()},
+	}
+	if o.Full {
+		cfg := experiments.Fig8Config{}
+		groups = append(groups,
+			group{"fig8zswap", experiments.Fig8Jobs("zswap", []ycsb.Workload{ycsb.A}, cfg)},
+			group{"fig8ksm", experiments.Fig8Jobs("ksm", []ycsb.Workload{ycsb.A}, cfg)},
+		)
+	}
+	var jobs []runner.Job
+	for _, g := range groups {
+		jobs = append(jobs, g.jobs...)
+	}
+	results := runner.Run(jobs, runner.Options{Workers: o.Workers, RootSeed: o.RootSeed})
+	by := make(map[string][]runner.Result, len(groups))
+	off := 0
+	for _, g := range groups {
+		by[g.name] = results[off : off+len(g.jobs)]
+		off += len(g.jobs)
+	}
+	if _, err := runner.Values(results); err != nil {
+		return results, err
+	}
+
 	r := &reporter{w: w}
 	r.printf("# cxl2sim reproduction report\n\n")
 	r.printf("| experiment | relation | paper | measured |\n")
 	r.printf("|---|---|---|---|\n")
 
-	r.fig3(reps)
-	r.fig4(reps)
-	r.fig5(reps)
-	r.fig6()
-	r.table4()
-	if full {
-		r.fig8()
+	r.fig3(collect[experiments.Fig3Row](by["fig3"]))
+	r.fig4(collect[experiments.Fig4Row](by["fig4"]))
+	r.fig5(collect[experiments.Fig5Row](by["fig5"]))
+	r.fig6(collect[experiments.Fig6Row](by["fig6"]))
+	r.table4(collect[experiments.Table4Row](by["table4"]))
+	if o.Full {
+		r.fig8(experiments.Fig8Collect(by["fig8zswap"]), experiments.Fig8Collect(by["fig8ksm"]))
 	}
-	return r.err
+	return results, r.err
+}
+
+// collect concatenates the per-job []T fragments in job order.
+func collect[T any](results []runner.Result) []T {
+	var rows []T
+	for _, res := range results {
+		if frag, ok := res.Value.([]T); ok {
+			rows = append(rows, frag...)
+		}
+	}
+	return rows
 }
 
 // reporter accumulates the first write error so the report functions can
@@ -51,8 +125,7 @@ func (r *reporter) row(exp, rel, paper, measured string) {
 
 func pct(a, b float64) string { return fmt.Sprintf("%+.0f %%", 100*(a-b)/b) }
 
-func (r *reporter) fig3(reps int) {
-	rows := experiments.Fig3(experiments.Fig3Config{Reps: reps})
+func (r *reporter) fig3(rows []experiments.Fig3Row) {
 	f := func(lbl string, tr, llc bool) experiments.Fig3Row {
 		return experiments.Fig3Find(rows, lbl, tr, llc)
 	}
@@ -83,8 +156,7 @@ func (r *reporter) fig3(reps int) {
 	r.row("Fig. 3", "CS-rd/ld bandwidth (LLC-0)", "+76–120 %", pct(cs.BandwidthGBs, ld.BandwidthGBs))
 }
 
-func (r *reporter) fig4(reps int) {
-	rows := experiments.Fig4(experiments.Fig4Config{Reps: reps})
+func (r *reporter) fig4(rows []experiments.Fig4Row) {
 	for _, wr := range []string{"NC-wr", "CO-wr"} {
 		hb := experiments.Fig4Find(rows, wr, false, true, false)
 		db := experiments.Fig4Find(rows, wr, false, true, true)
@@ -95,8 +167,7 @@ func (r *reporter) fig4(reps int) {
 	}
 }
 
-func (r *reporter) fig5(reps int) {
-	rows := experiments.Fig5(experiments.Fig5Config{Reps: reps})
+func (r *reporter) fig5(rows []experiments.Fig5Row) {
 	ld2 := experiments.Fig5Find(rows, cxlpkg.Ld, experiments.CaseT2Miss)
 	ld3 := experiments.Fig5Find(rows, cxlpkg.Ld, experiments.CaseT3)
 	r.row("Fig. 5", "ld latency, T2 vs T3", "+5 %", pct(ld2.LatencyNs, ld3.LatencyNs))
@@ -108,8 +179,7 @@ func (r *reporter) fig5(reps int) {
 	r.row("Fig. 5", "ld latency after NC-P push", "−82–87 %", pct(push.LatencyNs, ld2.LatencyNs))
 }
 
-func (r *reporter) fig6() {
-	rows := experiments.Fig6()
+func (r *reporter) fig6(rows []experiments.Fig6Row) {
 	st := experiments.Fig6Find(rows, experiments.MechCXLSt, false, 256)
 	for _, m := range []struct {
 		mech  experiments.Fig6Mechanism
@@ -129,8 +199,7 @@ func (r *reporter) fig6() {
 		fmt.Sprintf("%.1f× lower", rd.LatencyNs/c.LatencyNs))
 }
 
-func (r *reporter) table4() {
-	rows := experiments.Table4()
+func (r *reporter) table4(rows []experiments.Table4Row) {
 	cxlT := experiments.Table4Find(rows, "cxl-zswap").Total
 	rdma := experiments.Table4Find(rows, "pcie-rdma-zswap").Total
 	dma := experiments.Table4Find(rows, "pcie-dma-zswap").Total
@@ -140,9 +209,7 @@ func (r *reporter) table4() {
 	r.row("Table IV", "cxl vs dma", "−37 %", pct(cxlT, dma))
 }
 
-func (r *reporter) fig8() {
-	cfg := experiments.Fig8Config{}
-	zw := experiments.Fig8("zswap", []ycsb.Workload{ycsb.A}, cfg)
+func (r *reporter) fig8(zw, km []experiments.Fig8Row) {
 	norm := func(rows []experiments.Fig8Row, v experiments.Fig8Variant) float64 {
 		return experiments.Fig8Find(rows, v, ycsb.A).NormP99
 	}
@@ -150,7 +217,6 @@ func (r *reporter) fig8() {
 	r.row("Fig. 8", "pcie-rdma-zswap p99", "1.29–1.49×", fmt.Sprintf("%.2f×", norm(zw, 1)))
 	r.row("Fig. 8", "pcie-dma-zswap p99", "1.18–1.93×", fmt.Sprintf("%.2f×", norm(zw, 2)))
 	r.row("Fig. 8", "cxl-zswap p99", "1.14–1.26×", fmt.Sprintf("%.2f×", norm(zw, 3)))
-	km := experiments.Fig8("ksm", []ycsb.Workload{ycsb.A}, cfg)
 	r.row("Fig. 8", "cpu-ksm p99", "4.5–7.6×", fmt.Sprintf("%.1f×", norm(km, 0)))
 	r.row("Fig. 8", "pcie-rdma-ksm p99", "1.17–1.32×", fmt.Sprintf("%.2f×", norm(km, 1)))
 	r.row("Fig. 8", "pcie-dma-ksm p99", "1.16–1.35×", fmt.Sprintf("%.2f×", norm(km, 2)))
