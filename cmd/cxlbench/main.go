@@ -15,9 +15,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	cxl2sim "repro"
 )
@@ -50,7 +53,12 @@ func main() {
 	if *serial {
 		workers = 1
 	}
-	opts := cxl2sim.JobOptions{Workers: workers, RootSeed: *seed}
+	// SIGINT/SIGTERM cancel job dispatch: in-flight jobs finish, queued
+	// ones are skipped, and the run exits non-zero with a cancellation
+	// note instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opts := cxl2sim.JobOptions{Workers: workers, RootSeed: *seed, Context: ctx}
 
 	which := "all"
 	if flag.NArg() > 0 {
@@ -91,6 +99,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "cxlbench:", jerr)
 			os.Exit(1)
 		}
+	}
+	if n := cxl2sim.CancelledJobCount(results); n > 0 {
+		fmt.Fprintf(os.Stderr, "cxlbench: cancelled after %d/%d jobs\n", len(results)-n, len(results))
+		os.Exit(1)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cxlbench:", err)

@@ -16,9 +16,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	cxl2sim "repro"
 )
@@ -40,11 +43,17 @@ func main() {
 	if *serial {
 		workers = 1
 	}
+	// SIGINT/SIGTERM cancel job dispatch: in-flight jobs finish, queued
+	// ones are skipped, and the run exits non-zero with a cancellation
+	// note instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	results, err := cxl2sim.WriteReportOpts(os.Stdout, cxl2sim.ReportOptions{
 		Reps:     *reps,
 		Full:     *full,
 		Workers:  workers,
 		RootSeed: *seed,
+		Context:  ctx,
 	})
 	if !*noStats {
 		cxl2sim.PrintJobStats(os.Stderr, results)
@@ -62,6 +71,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "report:", cerr)
 			os.Exit(1)
 		}
+	}
+	if n := cxl2sim.CancelledJobCount(results); n > 0 {
+		fmt.Fprintf(os.Stderr, "report: cancelled after %d/%d jobs\n", len(results)-n, len(results))
+		os.Exit(1)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "report:", err)

@@ -1,0 +1,23 @@
+package experiments
+
+import "fmt"
+
+// Canonical result-cache keys for the serving layer. A key must encode
+// everything the rendered bytes depend on — section identity, repetition
+// count, root seed, output format — and nothing else: worker counts and
+// scheduling are deliberately absent because the runner renders
+// byte-identical output for any pool size, which is precisely what makes
+// cached section output safe to share between requests.
+
+// SectionKey is the canonical cache key for rendering the named section
+// at the given repetition count, root seed and output format ("text" or
+// "json").
+func SectionKey(name string, reps int, seed int64, format string) string {
+	return fmt.Sprintf("v1/section|%s|reps=%d|seed=%d|format=%s", name, reps, seed, format)
+}
+
+// ReportKey is the canonical cache key for the full paper-vs-measured
+// comparison report.
+func ReportKey(reps int, full bool, seed int64) string {
+	return fmt.Sprintf("v1/report|reps=%d|full=%t|seed=%d", reps, full, seed)
+}

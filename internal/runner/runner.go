@@ -18,6 +18,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -60,6 +61,9 @@ type Result struct {
 	Err error
 	// Panicked distinguishes a captured panic from an ordinary error.
 	Panicked bool
+	// Cancelled marks a job that was never dispatched because
+	// Options.Context was done; Err then wraps the context's error.
+	Cancelled bool
 	// Wall is the job's host wall-clock duration.
 	Wall time.Duration
 	// Events is the job's simulated-event count (see Ctx.AddEvents).
@@ -82,6 +86,12 @@ type Options struct {
 	Workers int
 	// RootSeed roots every job's derived seed.
 	RootSeed int64
+	// Context, when non-nil, bounds the run: once it is done, jobs not
+	// yet dispatched are skipped and marked failed (Cancelled=true,
+	// Err wrapping ctx.Err()) while in-flight jobs run to completion.
+	// Aggregation order is unaffected — result i always describes job i.
+	// nil means run everything (context.Background()).
+	Context context.Context
 }
 
 // DefaultRootSeed is the root seed used when a caller leaves
@@ -112,6 +122,10 @@ func (o *Options) setDefaults() {
 // would alias seeds) and panic before any job starts.
 func Run(jobs []Job, opts Options) []Result {
 	opts.setDefaults()
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	seen := make(map[string]struct{}, len(jobs))
 	for _, j := range jobs {
 		if _, dup := seen[j.ID]; dup {
@@ -123,6 +137,10 @@ func Run(jobs []Job, opts Options) []Result {
 	results := make([]Result, len(jobs))
 	if opts.Workers == 1 {
 		for i := range jobs {
+			if err := ctx.Err(); err != nil {
+				cancelFrom(results, jobs, i, err)
+				return results
+			}
 			results[i] = runOne(jobs[i], i, opts.RootSeed)
 		}
 		return results
@@ -139,12 +157,51 @@ func Run(jobs []Job, opts Options) []Result {
 			}
 		}()
 	}
+	done := ctx.Done()
+dispatch:
 	for i := range jobs {
-		idx <- i
+		// Poll first so cancellation wins over a ready worker: once the
+		// context is done, at most the send already in flight dispatches.
+		if err := ctx.Err(); err != nil {
+			cancelFrom(results, jobs, i, err)
+			break dispatch
+		}
+		select {
+		case <-done:
+			cancelFrom(results, jobs, i, ctx.Err())
+			break dispatch
+		case idx <- i:
+		}
 	}
 	close(idx)
 	wg.Wait()
 	return results
+}
+
+// cancelFrom marks jobs[from:] as cancelled with cause. The entries are
+// written before the worker pool is drained, which is safe: an index is
+// either dispatched (a worker owns its result slot) or cancelled here,
+// never both.
+func cancelFrom(results []Result, jobs []Job, from int, cause error) {
+	for i := from; i < len(jobs); i++ {
+		results[i] = Result{
+			ID:        jobs[i].ID,
+			Index:     i,
+			Cancelled: true,
+			Err:       fmt.Errorf("runner: job %q cancelled: %w", jobs[i].ID, cause),
+		}
+	}
+}
+
+// CancelledCount reports how many results were cancelled before dispatch.
+func CancelledCount(results []Result) int {
+	n := 0
+	for _, r := range results {
+		if r.Cancelled {
+			n++
+		}
+	}
+	return n
 }
 
 // runOne executes a single job, converting a panic into a failed Result.

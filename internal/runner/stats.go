@@ -25,6 +25,9 @@ func PrintStats(w io.Writer, results []Result) {
 			if r.Panicked {
 				status = "PANICKED"
 			}
+			if r.Cancelled {
+				status = "CANCELLED"
+			}
 			failed++
 		}
 		fmt.Fprintf(w, "%-28s%12.2f%12d%14.3g  %s\n",
@@ -46,6 +49,7 @@ type JobStat struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 	Error        string  `json:"error,omitempty"`
 	Panicked     bool    `json:"panicked,omitempty"`
+	Cancelled    bool    `json:"cancelled,omitempty"`
 }
 
 // GroupStat aggregates one job group (the prefix before the first '/').
@@ -90,6 +94,7 @@ func NewBenchReport(results []Result, workers int, rootSeed int64) BenchReport {
 			Events:       r.Events,
 			EventsPerSec: r.EventsPerSec(),
 			Panicked:     r.Panicked,
+			Cancelled:    r.Cancelled,
 		}
 		if r.Err != nil {
 			js.Error = r.Err.Error()

@@ -1,0 +1,150 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the test deadline-fails.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func body(n int, fill byte) []byte { return bytes.Repeat([]byte{fill}, n) }
+
+// TestCacheLRUEviction: the byte bound evicts least-recently-used entries
+// and the counters track it.
+func TestCacheLRUEviction(t *testing.T) {
+	// Each entry costs len(key)+len(body) = 2+98 = 100 bytes; three fit.
+	c := newResultCache(300)
+	for i := 0; i < 3; i++ {
+		c.put(cached{key: fmt.Sprintf("k%d", i), body: body(98, byte(i)), status: 200})
+	}
+	// Touch k0 so k1 is the LRU victim when k3 arrives.
+	if _, ok := c.get("k0"); !ok {
+		t.Fatal("k0 missing before eviction")
+	}
+	c.put(cached{key: "k3", body: body(98, 3), status: 200})
+
+	if _, ok := c.get("k1"); ok {
+		t.Fatal("k1 survived eviction; LRU order wrong")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("%s evicted unexpectedly", k)
+		}
+	}
+	s := c.snapshot()
+	if s.Evictions != 1 || s.Entries != 3 || s.Bytes != 300 {
+		t.Fatalf("snapshot = %+v, want 1 eviction, 3 entries, 300 bytes", s)
+	}
+	// get: 1 pre-eviction hit + 1 miss (k1) + 3 hits.
+	if s.Hits != 4 || s.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 4/1", s.Hits, s.Misses)
+	}
+}
+
+// TestCacheOversizedEntryNotStored: a body bigger than the whole cache is
+// passed through without evicting everything else.
+func TestCacheOversizedEntryNotStored(t *testing.T) {
+	c := newResultCache(100)
+	c.put(cached{key: "small", body: body(50, 1), status: 200})
+	c.put(cached{key: "huge", body: body(500, 2), status: 200})
+	if _, ok := c.get("huge"); ok {
+		t.Fatal("oversized entry was stored")
+	}
+	if _, ok := c.get("small"); !ok {
+		t.Fatal("oversized put evicted resident entries")
+	}
+}
+
+// TestCacheSameKeyOverwriteKeepsBytes: determinism means a same-key put
+// carries identical bytes; the cache keeps the original.
+func TestCacheSameKeyOverwriteKeepsBytes(t *testing.T) {
+	c := newResultCache(1000)
+	c.put(cached{key: "k", body: []byte("deterministic"), status: 200})
+	c.put(cached{key: "k", body: []byte("deterministic"), status: 200})
+	s := c.snapshot()
+	if s.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", s.Entries)
+	}
+	got, _ := c.get("k")
+	if string(got.body) != "deterministic" {
+		t.Fatalf("body = %q", got.body)
+	}
+}
+
+// TestFlightGroupCoalesces: concurrent same-key callers share one
+// execution; exactly one is the leader.
+func TestFlightGroupCoalesces(t *testing.T) {
+	g := newFlightGroup()
+	var calls int
+	var mu sync.Mutex
+	release := make(chan struct{})
+	never := make(chan struct{})
+
+	const n = 8
+	var wg sync.WaitGroup
+	leaders := make(chan bool, n)
+	run := func() {
+		defer wg.Done()
+		resp, err, leader := g.do("key", never, func() (cached, error) {
+			mu.Lock()
+			calls++
+			mu.Unlock()
+			<-release
+			return cached{body: []byte("shared")}, nil
+		})
+		leaders <- leader
+		if err != nil || string(resp.body) != "shared" {
+			t.Errorf("do: body=%q err=%v", resp.body, err)
+		}
+	}
+	// Start the leader and wait until its call is registered, so every
+	// follower is guaranteed to coalesce instead of leading its own call.
+	wg.Add(1)
+	go run()
+	waitFor(t, func() bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		_, ok := g.calls["key"]
+		return ok
+	})
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go run()
+	}
+	// Release the leader only once every follower has joined the call —
+	// the call stays registered until then because fn blocks on release.
+	waitFor(t, func() bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		call, ok := g.calls["key"]
+		return ok && call.waiters == n-1
+	})
+	close(release)
+	wg.Wait()
+	close(leaders)
+	nLeaders := 0
+	for l := range leaders {
+		if l {
+			nLeaders++
+		}
+	}
+	if nLeaders != 1 {
+		t.Fatalf("%d leaders, want exactly 1", nLeaders)
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+}

@@ -1,0 +1,102 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Admission control: a fixed number of run slots plus a bounded waiting
+// room. A request that finds every slot busy may wait — but only while
+// fewer than maxWait requests are already waiting; beyond that it is
+// rejected immediately so load shedding happens at the front door (429 +
+// Retry-After) instead of as an unbounded pile of goroutines all holding
+// a simulation's worth of memory.
+
+var (
+	// errQueueFull rejects a request when the waiting room is full.
+	errQueueFull = errors.New("service: admission queue full")
+	// errDraining rejects a request once shutdown has begun.
+	errDraining = errors.New("service: server draining")
+)
+
+// queue is the admission controller.
+type queue struct {
+	slots chan struct{} // buffered; a token = the right to run one job
+
+	mu      sync.Mutex
+	waiting int
+
+	maxWait int
+	closed  chan struct{}
+	once    sync.Once
+}
+
+// newQueue builds an admission controller with the given number of
+// concurrent run slots and waiting-room capacity.
+func newQueue(slots, maxWait int) *queue {
+	q := &queue{
+		slots:   make(chan struct{}, slots),
+		maxWait: maxWait,
+		closed:  make(chan struct{}),
+	}
+	for i := 0; i < slots; i++ {
+		q.slots <- struct{}{}
+	}
+	return q
+}
+
+// acquire obtains a run slot, waiting in the bounded queue if necessary.
+// It returns errQueueFull when the waiting room is already full,
+// errDraining when the server is shutting down, or ctx.Err() when the
+// caller gave up first. A nil return must be paired with release().
+func (q *queue) acquire(ctx context.Context) error {
+	select {
+	case <-q.closed:
+		return errDraining
+	default:
+	}
+	// Fast path: a slot is free right now.
+	select {
+	case <-q.slots:
+		return nil
+	default:
+	}
+	q.mu.Lock()
+	if q.waiting >= q.maxWait {
+		q.mu.Unlock()
+		return errQueueFull
+	}
+	q.waiting++
+	q.mu.Unlock()
+	defer func() {
+		q.mu.Lock()
+		q.waiting--
+		q.mu.Unlock()
+	}()
+	select {
+	case <-q.slots:
+		return nil
+	case <-q.closed:
+		return errDraining
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a slot acquired by acquire.
+func (q *queue) release() { q.slots <- struct{}{} }
+
+// depth reports how many requests are waiting for a slot.
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.waiting
+}
+
+// inFlight reports how many slots are currently held.
+func (q *queue) inFlight() int { return cap(q.slots) - len(q.slots) }
+
+// close rejects future acquires and wakes every waiter with errDraining.
+// Held slots stay valid: in-flight work finishes and releases normally.
+func (q *queue) close() { q.once.Do(func() { close(q.closed) }) }

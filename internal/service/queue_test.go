@@ -1,0 +1,101 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestQueueBounds: slots admit immediately, the waiting room admits up to
+// its bound, and the next caller is rejected with errQueueFull.
+func TestQueueBounds(t *testing.T) {
+	q := newQueue(1, 1)
+	if err := q.acquire(context.Background()); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if got := q.inFlight(); got != 1 {
+		t.Fatalf("inFlight = %d, want 1", got)
+	}
+
+	// Second caller waits (slot busy, waiting room has space).
+	waited := make(chan error, 1)
+	go func() {
+		waited <- q.acquire(context.Background())
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for q.depth() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Third caller finds the waiting room full.
+	if err := q.acquire(context.Background()); !errors.Is(err, errQueueFull) {
+		t.Fatalf("third acquire: %v, want errQueueFull", err)
+	}
+
+	// Releasing the slot admits the waiter.
+	q.release()
+	if err := <-waited; err != nil {
+		t.Fatalf("waiter: %v", err)
+	}
+	q.release()
+}
+
+// TestQueueWaiterCancellation: a waiter whose context ends leaves the
+// waiting room.
+func TestQueueWaiterCancellation(t *testing.T) {
+	q := newQueue(1, 4)
+	if err := q.acquire(context.Background()); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := q.acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter: %v, want context.Canceled", err)
+	}
+	if got := q.depth(); got != 0 {
+		t.Fatalf("depth after cancelled wait = %d, want 0", got)
+	}
+	q.release()
+}
+
+// TestQueueClose: close rejects new acquires and wakes waiters with
+// errDraining while held slots release normally.
+func TestQueueClose(t *testing.T) {
+	q := newQueue(1, 4)
+	if err := q.acquire(context.Background()); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- q.acquire(context.Background())
+		}()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for q.depth() != 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiters never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	q.close()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, errDraining) {
+			t.Fatalf("waiter after close: %v, want errDraining", err)
+		}
+	}
+	if err := q.acquire(context.Background()); !errors.Is(err, errDraining) {
+		t.Fatalf("acquire after close: %v, want errDraining", err)
+	}
+	q.release() // the held slot still releases without panicking
+}

@@ -1,0 +1,401 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	cxl2sim "repro"
+)
+
+// testReps keeps runs fast while still exercising the real experiment
+// jobs end to end.
+const testReps = 25
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp, body
+}
+
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp, b
+}
+
+// TestHealthzAndSectionsList: the discovery endpoints answer without
+// touching the simulator.
+func TestHealthzAndSectionsList(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, body := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+	var hz healthzResponse
+	if err := json.Unmarshal(body, &hz); err != nil {
+		t.Fatalf("healthz decode: %v", err)
+	}
+	if hz.Status != "ok" || hz.QueueDepth != 0 || hz.InFlight != 0 {
+		t.Fatalf("healthz = %+v", hz)
+	}
+
+	resp, body = get(t, ts.URL+"/v1/sections")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sections: %d %s", resp.StatusCode, body)
+	}
+	var list struct {
+		Sections []sectionInfo `json:"sections"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatalf("sections decode: %v", err)
+	}
+	want := map[string]bool{"table3": true, "fig3": true, "fig4": true,
+		"fig5": true, "fig6": true, "wqsweep": true}
+	if len(list.Sections) != len(want) {
+		t.Fatalf("%d sections, want %d: %s", len(list.Sections), len(want), body)
+	}
+	for _, sec := range list.Sections {
+		if !want[sec.Name] {
+			t.Fatalf("unexpected section %q", sec.Name)
+		}
+		if sec.Jobs <= 0 {
+			t.Fatalf("section %q reports %d jobs", sec.Name, sec.Jobs)
+		}
+	}
+}
+
+// TestSectionDeterminismAndCacheHit — the core serving guarantee: two
+// identical section requests return byte-identical bodies, the second
+// served from the cache; the bytes also match an in-process serial render
+// and are independent of the server's worker count.
+func TestSectionDeterminismAndCacheHit(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4})
+
+	body := fmt.Sprintf(`{"reps":%d,"seed":7}`, testReps)
+	resp1, b1 := post(t, ts.URL+"/v1/sections/fig3", body)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first: %d %s", resp1.StatusCode, b1)
+	}
+	if got := resp1.Header.Get("X-Cache"); got != "MISS" {
+		t.Fatalf("first X-Cache = %q, want MISS", got)
+	}
+
+	resp2, b2 := post(t, ts.URL+"/v1/sections/fig3", body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second: %d %s", resp2.StatusCode, b2)
+	}
+	if got := resp2.Header.Get("X-Cache"); got != "HIT" {
+		t.Fatalf("second X-Cache = %q, want HIT", got)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("bodies differ:\n%s\n----\n%s", b1, b2)
+	}
+	if cs := s.cache.snapshot(); cs.Hits < 1 {
+		t.Fatalf("cache recorded no hit: %+v", cs)
+	}
+
+	// The served bytes match a serial in-process render of the same
+	// (section, reps, seed) — the runner's determinism, end to end.
+	secs := cxl2sim.ExperimentSections(testReps)
+	sec, _ := cxl2sim.ExperimentSectionByName(secs, "fig3")
+	results := cxl2sim.RunJobs(sec.Jobs, cxl2sim.JobOptions{Workers: 1, RootSeed: 7})
+	var ref bytes.Buffer
+	if err := sec.Render(&ref, results); err != nil {
+		t.Fatalf("reference render: %v", err)
+	}
+	if !bytes.Equal(b1, ref.Bytes()) {
+		t.Fatalf("served bytes differ from serial render:\n%s\n----\n%s", b1, ref.Bytes())
+	}
+
+	// A single-worker server serves the same bytes for the same request.
+	_, ts1 := newTestServer(t, Config{Workers: 1})
+	resp3, b3 := post(t, ts1.URL+"/v1/sections/fig3", body)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("workers=1: %d %s", resp3.StatusCode, b3)
+	}
+	if !bytes.Equal(b1, b3) {
+		t.Fatal("bytes depend on the server's worker count")
+	}
+}
+
+// TestSectionJSONFormat: format=json returns the typed rows, cached under
+// a distinct key from the text rendering.
+func TestSectionJSONFormat(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := fmt.Sprintf(`{"reps":%d,"format":"json"}`, testReps)
+	resp, body := post(t, ts.URL+"/v1/sections/table3", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("json run: %d %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Section string            `json:"section"`
+		Rows    []json.RawMessage `json:"rows"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.Section != "table3" || len(out.Rows) == 0 {
+		t.Fatalf("section=%q rows=%d", out.Section, len(out.Rows))
+	}
+
+	respText, _ := post(t, ts.URL+"/v1/sections/table3", fmt.Sprintf(`{"reps":%d}`, testReps))
+	if got := respText.Header.Get("X-Cache"); got != "MISS" {
+		t.Fatalf("text after json X-Cache = %q, want MISS (distinct key)", got)
+	}
+}
+
+// TestSectionErrors: bad requests fail before admission with helpful
+// statuses.
+func TestSectionErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, url, body string
+		want            int
+	}{
+		{"unknown section", "/v1/sections/fig99", "{}", http.StatusNotFound},
+		{"bad format", "/v1/sections/fig3", `{"format":"yaml"}`, http.StatusBadRequest},
+		{"unknown field", "/v1/sections/fig3", `{"repz":3}`, http.StatusBadRequest},
+		{"negative reps", "/v1/sections/fig3", `{"reps":-1}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, body := post(t, ts.URL+c.url, c.body)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: %d %s, want %d", c.name, resp.StatusCode, body, c.want)
+		}
+	}
+}
+
+// TestMeasureEndpoint: an ad-hoc D2H measurement runs, is cached, and is
+// deterministic; invalid combinations are 400s.
+func TestMeasureEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := `{"kind":"d2h","op":"CS-rd","place":"LLC-1","reps":50,"burst":8,"seed":3}`
+	resp, b1 := post(t, ts.URL+"/v1/measure", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("measure: %d %s", resp.StatusCode, b1)
+	}
+	var m measureResponse
+	if err := json.Unmarshal(b1, &m); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if m.MedianNs <= 0 || m.BandwidthGBs <= 0 || m.Reps != 50 || m.Burst != 8 {
+		t.Fatalf("implausible measurement: %+v", m)
+	}
+
+	resp2, b2 := post(t, ts.URL+"/v1/measure", req)
+	if got := resp2.Header.Get("X-Cache"); got != "HIT" {
+		t.Fatalf("repeat X-Cache = %q, want HIT", got)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("measurement not deterministic across requests")
+	}
+
+	bad := []struct{ name, body string }{
+		{"unknown kind", `{"kind":"x2h","op":"ld"}`},
+		{"unknown op", `{"kind":"d2h","op":"mov"}`},
+		{"unknown place", `{"kind":"d2h","op":"CS-rd","place":"L2-1"}`},
+		{"bad device type", `{"kind":"h2d","op":"ld","config":{"device_type":"type9"}}`},
+		{"place/kind mismatch", `{"kind":"d2h","op":"CS-rd","place":"DMC-1","reps":10}`},
+	}
+	for _, c := range bad {
+		resp, body := post(t, ts.URL+"/v1/measure", c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: %d %s, want 400", c.name, resp.StatusCode, body)
+		}
+	}
+
+	// A Type-3 measurement keys separately from the Type-2 default.
+	resp3, _ := post(t, ts.URL+"/v1/measure",
+		`{"kind":"h2d","op":"ld","reps":50,"burst":8,"config":{"device_type":"type3"}}`)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("type3 measure: %d", resp3.StatusCode)
+	}
+	if got := resp3.Header.Get("X-Cache"); got != "MISS" {
+		t.Fatalf("type3 X-Cache = %q, want MISS", got)
+	}
+}
+
+// TestReportMatchesSerialWriter: the /v1/report bytes equal
+// WriteReportOpts run serially in-process — the same guarantee the CI
+// smoke checks against cmd/report -serial.
+func TestReportMatchesSerialWriter(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	resp, got := get(t, ts.URL+"/v1/report?reps="+fmt.Sprint(testReps)+"&seed=5")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report: %d %s", resp.StatusCode, got)
+	}
+	var ref bytes.Buffer
+	if _, err := cxl2sim.WriteReportOpts(&ref, cxl2sim.ReportOptions{
+		Reps: testReps, Workers: 1, RootSeed: 5,
+	}); err != nil {
+		t.Fatalf("reference report: %v", err)
+	}
+	if !bytes.Equal(got, ref.Bytes()) {
+		t.Fatalf("report bytes differ from serial writer:\n%s\n----\n%s", got, ref.Bytes())
+	}
+}
+
+// TestConcurrentFloodSheds429AndKeepsCacheSound: N parallel clients with
+// distinct seeds against queue bound K < N. Some must be rejected with
+// 429 + Retry-After, every success must be byte-identical to a later
+// (cache-hit) repeat, and the cache must end up uncorrupted. The flood
+// retries a few times because scheduling could, in principle, let every
+// client through sequentially.
+func TestConcurrentFloodSheds429AndKeepsCacheSound(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxConcurrent: 1, QueueDepth: 1})
+
+	const clients = 10
+	type outcome struct {
+		seed   int
+		status int
+		retry  string
+		body   []byte
+	}
+	flood := func(round int) []outcome {
+		out := make([]outcome, clients)
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < clients; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-start
+				seed := round*clients + i + 1
+				body := fmt.Sprintf(`{"reps":400,"seed":%d}`, seed)
+				resp, err := http.Post(ts.URL+"/v1/sections/fig3", "application/json",
+					strings.NewReader(body))
+				if err != nil {
+					t.Errorf("client %d: %v", i, err)
+					return
+				}
+				defer resp.Body.Close()
+				b, _ := io.ReadAll(resp.Body)
+				out[i] = outcome{seed: seed, status: resp.StatusCode,
+					retry: resp.Header.Get("Retry-After"), body: b}
+			}(i)
+		}
+		close(start)
+		wg.Wait()
+		return out
+	}
+
+	var shed []outcome
+	for round := 0; round < 3 && len(shed) == 0; round++ {
+		results := flood(round)
+		ok := 0
+		for _, o := range results {
+			switch o.status {
+			case http.StatusOK:
+				ok++
+				// Every accepted response must be reproducible from cache.
+				resp, b := post(t, ts.URL+"/v1/sections/fig3",
+					fmt.Sprintf(`{"reps":400,"seed":%d}`, o.seed))
+				if resp.StatusCode != http.StatusOK || !bytes.Equal(b, o.body) {
+					t.Fatalf("seed %d: repeat %d / bytes differ — cache corrupted",
+						o.seed, resp.StatusCode)
+				}
+				if got := resp.Header.Get("X-Cache"); got != "HIT" {
+					t.Fatalf("seed %d repeat X-Cache = %q, want HIT", o.seed, got)
+				}
+			case http.StatusTooManyRequests:
+				if o.retry == "" {
+					t.Fatalf("seed %d: 429 without Retry-After", o.seed)
+				}
+				shed = append(shed, o)
+			default:
+				t.Fatalf("seed %d: unexpected status %d: %s", o.seed, o.status, o.body)
+			}
+		}
+		if ok == 0 {
+			t.Fatal("no request succeeded during the flood")
+		}
+	}
+	if len(shed) == 0 {
+		t.Fatal("flood never produced a 429 despite queue bound 1+1 < 10 clients")
+	}
+}
+
+// TestRequestDeadline504: a deadline far shorter than the run cancels the
+// dispatch inside runner.Run and surfaces as 504.
+func TestRequestDeadline504(t *testing.T) {
+	_, ts := newTestServer(t, Config{RequestTimeout: time.Nanosecond})
+	resp, body := post(t, ts.URL+"/v1/sections/fig3", `{"reps":200}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d %s, want 504", resp.StatusCode, body)
+	}
+}
+
+// TestDrainingRejectsNewWork: after Shutdown the daemon answers 503 on
+// work and healthz endpoints.
+func TestDrainingRejectsNewWork(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	if err := s.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	resp, _ := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d, want 503", resp.StatusCode)
+	}
+	resp, _ = post(t, ts.URL+"/v1/sections/fig3", `{"reps":10}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("section while draining: %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestMetricsExposition: the metrics page carries the documented gauges
+// and reflects traffic.
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	post(t, ts.URL+"/v1/sections/table3", fmt.Sprintf(`{"reps":%d}`, testReps))
+	post(t, ts.URL+"/v1/sections/table3", fmt.Sprintf(`{"reps":%d}`, testReps)) // hit
+	_, body := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"cxlsimd_queue_depth 0",
+		"cxlsimd_inflight_jobs 0",
+		"cxlsimd_cache_hits_total 1",
+		"cxlsimd_cache_misses_total 1",
+		"cxlsimd_sim_events_total",
+		"cxlsimd_requests_total{code=\"200\"}",
+		"cxlsimd_section_latency_seconds_count{section=\"section/table3\"} 1",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}

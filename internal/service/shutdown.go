@@ -1,0 +1,54 @@
+package service
+
+import (
+	"context"
+	"net"
+)
+
+// Lifecycle: Run serves until the caller's context fires (cmd/cxlsimd
+// wires SIGINT/SIGTERM into it), then Shutdown drains — reject new work,
+// let in-flight runs finish inside a bounded window, hard-cancel whatever
+// outlives it. The ordering matters: flip the draining flag before
+// closing the queue so a request racing admission sees at worst one
+// consistent refusal, and cancel the run base only after http.Server's
+// drain so healthy runs are never interrupted by a clean shutdown.
+
+// Run serves on cfg.Addr until ctx is done, then drains gracefully. It
+// returns nil after a clean drain, the drain context's error when
+// in-flight work exceeded DrainTimeout, or the listener error.
+func (s *Server) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.cfg.Log.Printf("listening on %s (workers=%d, slots=%d, queue=%d, cache=%dMiB)",
+		ln.Addr(), s.cfg.Workers, s.cfg.MaxConcurrent, s.cfg.QueueDepth, s.cfg.CacheBytes>>20)
+	errc := make(chan error, 1)
+	go func() { errc <- s.http.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	return s.Shutdown()
+}
+
+// Shutdown drains the daemon: new work is rejected (healthz flips to 503,
+// queued waiters fail fast with 503), in-flight runs get up to
+// DrainTimeout to finish, and anything still running after that is
+// hard-cancelled through the run contexts.
+func (s *Server) Shutdown() error {
+	s.cfg.Log.Printf("draining (timeout %s)", s.cfg.DrainTimeout)
+	s.draining.Store(true)
+	s.queue.close()
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err := s.http.Shutdown(ctx)
+	s.cancelBase()
+	if err != nil {
+		s.cfg.Log.Printf("drain timeout exceeded: %v", err)
+		return err
+	}
+	s.cfg.Log.Printf("drained cleanly")
+	return nil
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"repro/internal/phys"
 	"repro/internal/sim"
@@ -63,6 +64,14 @@ type Tracer interface {
 
 // Buffer is a bounded in-memory tracer: it keeps the most recent Cap
 // events (a ring), counting everything it sees.
+//
+// Buffer is NOT safe for concurrent use: Record, Events, Summarize,
+// WriteCSV and Reset must all run on the same goroutine (or under
+// external synchronization). That contract matches its use inside a
+// single simulation — the engines are single-threaded per System — but
+// is silently violated the moment a buffer is shared across goroutines,
+// e.g. when a server exposes per-request traces. Wrap it with Locked for
+// any cross-goroutine use.
 type Buffer struct {
 	cap    int
 	events []Event
@@ -182,3 +191,32 @@ type Nop struct{}
 
 // Record implements Tracer.
 func (Nop) Record(Event) {}
+
+// LockedTracer serializes all access to a wrapped Tracer with a mutex —
+// the adapter for sharing a Buffer (or any single-goroutine Tracer)
+// across goroutines, e.g. a service exposing per-request traces while
+// the simulation still records into them.
+type LockedTracer struct {
+	mu sync.Mutex
+	t  Tracer
+}
+
+// Locked wraps t so Record and With are safe to call concurrently.
+func Locked(t Tracer) *LockedTracer { return &LockedTracer{t: t} }
+
+// Record implements Tracer under the lock.
+func (l *LockedTracer) Record(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.t.Record(e)
+}
+
+// With runs fn with exclusive access to the wrapped tracer — the safe
+// window for reads like Buffer.Events, Summarize or WriteCSV. fn must
+// not retain the tracer (or interior pointers such as Events' backing
+// array of a future Record) past its return.
+func (l *LockedTracer) With(fn func(Tracer)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fn(l.t)
+}

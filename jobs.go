@@ -27,7 +27,10 @@ type JobResult = runner.Result
 
 // JobOptions configures a run: Workers sizes the pool (1 = serial on the
 // calling goroutine, 0 = GOMAXPROCS); RootSeed roots the per-job seed
-// derivation (0 = DefaultRootSeed).
+// derivation (0 = DefaultRootSeed); Context (nil = run everything)
+// cancels dispatch — jobs not yet started are marked failed with
+// Cancelled set while in-flight jobs finish and aggregation order is
+// preserved.
 type JobOptions = runner.Options
 
 // DefaultRootSeed is the root seed used when JobOptions.RootSeed is zero.
@@ -44,6 +47,10 @@ func FirstJobError(results []JobResult) error {
 	_, err := runner.Values(results)
 	return err
 }
+
+// CancelledJobCount reports how many jobs were cancelled before dispatch
+// (JobOptions.Context fired mid-run).
+func CancelledJobCount(results []JobResult) int { return runner.CancelledCount(results) }
 
 // PrintJobStats renders the per-job wall-clock and sim-event-rate table
 // plus totals.

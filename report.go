@@ -1,6 +1,7 @@
 package cxl2sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -26,6 +27,9 @@ type ReportOptions struct {
 	// default root seed). Per-job seeds depend only on (RootSeed, job ID),
 	// never on scheduling.
 	RootSeed int64
+	// Context, when non-nil, cancels the run: undispatched jobs are
+	// marked failed (Cancelled) and the report render is skipped.
+	Context context.Context
 }
 
 // WriteReport writes the paper-vs-measured comparison as a markdown table:
@@ -68,7 +72,7 @@ func WriteReportOpts(w io.Writer, o ReportOptions) ([]runner.Result, error) {
 	for _, g := range groups {
 		jobs = append(jobs, g.jobs...)
 	}
-	results := runner.Run(jobs, runner.Options{Workers: o.Workers, RootSeed: o.RootSeed})
+	results := runner.Run(jobs, runner.Options{Workers: o.Workers, RootSeed: o.RootSeed, Context: o.Context})
 	by := make(map[string][]runner.Result, len(groups))
 	off := 0
 	for _, g := range groups {
