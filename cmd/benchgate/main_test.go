@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/sim
+cpu: whatever
+BenchmarkSchedule-8     	15881846	        75.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSchedule-8     	15000000	        77.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSchedule-8     	16000000	        73.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkRunDense-8     	22728608	        52.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFig3-8         	     750	   1560000 ns/op	        212.5 CS-rd-LLC1-ns	        96.76 vs-ld-%	 5600000 B/op	    9000 allocs/op
+PASS
+ok  	repro/internal/sim	10.2s
+`
+
+func TestParseBenchMedians(t *testing.T) {
+	recs, raw, err := readInputsFromText(benchOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 {
+		t.Error("raw text not captured")
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3: %+v", len(recs), recs)
+	}
+	sched := recs[0]
+	if sched.Name != "BenchmarkSchedule" {
+		t.Errorf("proc suffix not stripped: %q", sched.Name)
+	}
+	if sched.Runs != 3 || sched.NsPerOp != 75.0 {
+		t.Errorf("median over 3 runs = %v ns/op (%d runs), want 75.0 (3)", sched.NsPerOp, sched.Runs)
+	}
+	// Custom units (CS-rd-LLC1-ns etc.) must not confuse the pair walk.
+	fig3 := recs[2]
+	if fig3.NsPerOp != 1560000 || fig3.AllocsPerOp != 9000 {
+		t.Errorf("fig3 parsed as %+v", fig3)
+	}
+}
+
+func TestGateThreshold(t *testing.T) {
+	base := &Baseline{Benchmarks: []Record{
+		{Name: "BenchmarkSchedule", NsPerOp: 100},
+		{Name: "BenchmarkRunDense", NsPerOp: 100},
+	}}
+	cases := []struct {
+		name     string
+		cur      []Record
+		wantCode int
+	}{
+		{"improvement passes", []Record{
+			{Name: "BenchmarkSchedule", NsPerOp: 80},
+			{Name: "BenchmarkRunDense", NsPerOp: 90},
+		}, 0},
+		{"small regression passes", []Record{
+			{Name: "BenchmarkSchedule", NsPerOp: 105},
+			{Name: "BenchmarkRunDense", NsPerOp: 105},
+		}, 0},
+		{"geomean over threshold fails", []Record{
+			{Name: "BenchmarkSchedule", NsPerOp: 125},
+			{Name: "BenchmarkRunDense", NsPerOp: 125},
+		}, 1},
+		{"one bad one good averages out", []Record{
+			{Name: "BenchmarkSchedule", NsPerOp: 130},
+			{Name: "BenchmarkRunDense", NsPerOp: 85},
+		}, 0},
+		{"nothing shared fails", []Record{
+			{Name: "BenchmarkOther", NsPerOp: 10},
+		}, 1},
+	}
+	for _, tc := range cases {
+		var sb strings.Builder
+		if code := gate(&sb, base, tc.cur, 10); code != tc.wantCode {
+			t.Errorf("%s: exit %d, want %d\n%s", tc.name, code, tc.wantCode, sb.String())
+		}
+	}
+}
+
+// readInputsFromText feeds text through the same parse+reduce path the
+// CLI uses for a file, without touching the filesystem.
+func readInputsFromText(text string) ([]Record, []byte, error) {
+	return reduce(parseBench(text)), []byte(text), nil
+}

@@ -20,12 +20,18 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 
 	cxl2sim "repro"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run holds the real body so profile-flushing defers execute before the
+// process exits with the right status code.
+func run() int {
 	reps := flag.Int("reps", 1000, "repetitions per measurement (the paper uses >= 1000)")
 	parallel := flag.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
 	serial := flag.Bool("serial", false, "run on a single worker (same as -parallel 1)")
@@ -34,6 +40,8 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "write per-job timing stats as JSON to this path")
 	dump := flag.String("dump-params", "", "write the calibrated timing parameters as JSON to this path and exit")
 	csv := flag.Bool("csv", false, "emit fig6 as CSV (plot-friendly) instead of a table")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this path (go tool pprof)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: cxlbench [-reps N] [-parallel N | -serial] [-seed S] [fig3|fig4|fig5|fig6|table3|wqsweep|all]\n")
 		flag.PrintDefaults()
@@ -43,10 +51,38 @@ func main() {
 	if *dump != "" {
 		if err := cxl2sim.SaveParams(cxl2sim.DefaultParams(), *dump); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("wrote %s\n", *dump)
-		return
+		return 0
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cxlbench:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cxlbench:", err)
+			return 1
+		}
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cxlbench:", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows retained objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "cxlbench:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	workers := *parallel
@@ -69,7 +105,7 @@ func main() {
 		sec, ok := cxl2sim.ExperimentSectionByName(secs, which)
 		if !ok {
 			flag.Usage()
-			os.Exit(2)
+			return 2
 		}
 		secs = []cxl2sim.ExperimentSection{sec}
 	}
@@ -81,7 +117,7 @@ func main() {
 		sec, ok := cxl2sim.ExperimentSectionByName(secs, "fig6")
 		if !ok {
 			fmt.Fprintln(os.Stderr, "cxlbench: -csv applies to fig6 (or all)")
-			os.Exit(2)
+			return 2
 		}
 		results = cxl2sim.RunJobs(sec.Jobs, opts)
 		if err = cxl2sim.FirstJobError(results); err == nil {
@@ -97,17 +133,18 @@ func main() {
 	if *benchJSON != "" {
 		if jerr := writeBenchJSON(*benchJSON, results, opts); jerr != nil {
 			fmt.Fprintln(os.Stderr, "cxlbench:", jerr)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if n := cxl2sim.CancelledJobCount(results); n > 0 {
 		fmt.Fprintf(os.Stderr, "cxlbench: cancelled after %d/%d jobs\n", len(results)-n, len(results))
-		os.Exit(1)
+		return 1
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cxlbench:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func writeBenchJSON(path string, results []cxl2sim.JobResult, opts cxl2sim.JobOptions) error {

@@ -75,12 +75,21 @@ type Victim struct {
 func (v Victim) Dirty() bool { return v.State == Modified || v.State == Owned }
 
 // Cache is a set-associative cache with true-LRU replacement.
+//
+// Line storage is allocated per set, on the first Fill that touches the
+// set. The paper's caches are large (a 60 MB LLC is ~1M Line records) but
+// each experiment rig touches a tiny fraction of the sets, and every job of
+// the parallel runner builds its own rig — eagerly zeroing the full line
+// array dominated both the allocation volume and the construction time of
+// the characterization benchmarks. Untouched sets cost one nil slice
+// header; behavior is identical because an unallocated set and a set of
+// Invalid lines are indistinguishable through the API.
 type Cache struct {
 	name    string
 	ways    int
 	sets    int
 	setMask phys.Addr
-	lines   []Line // sets*ways, set-major
+	setArr  [][]Line // per-set line arrays, nil until first Fill
 	tick    uint64
 	stats   Stats
 }
@@ -105,7 +114,7 @@ func New(name string, sizeBytes, ways int) (*Cache, error) {
 		ways:    ways,
 		sets:    sets,
 		setMask: phys.Addr(sets - 1),
-		lines:   make([]Line, sets*ways),
+		setArr:  make([][]Line, sets),
 	}, nil
 }
 
@@ -136,9 +145,21 @@ func (c *Cache) Stats() Stats { return c.stats }
 // ResetStats zeroes the event counters.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
+// set returns addr's set for lookup paths: nil when the set has never been
+// filled, which reads as all-Invalid.
 func (c *Cache) set(addr phys.Addr) []Line {
+	return c.setArr[(phys.LineAddr(addr)/phys.LineSize)&c.setMask]
+}
+
+// setAlloc returns addr's set for the fill path, allocating it on first use.
+func (c *Cache) setAlloc(addr phys.Addr) []Line {
 	idx := (phys.LineAddr(addr) / phys.LineSize) & c.setMask
-	return c.lines[int(idx)*c.ways : (int(idx)+1)*c.ways]
+	s := c.setArr[idx]
+	if s == nil {
+		s = make([]Line, c.ways)
+		c.setArr[idx] = s
+	}
+	return s
 }
 
 // Lookup finds the line holding addr, updating recency and hit/miss
@@ -181,7 +202,7 @@ func (c *Cache) Fill(addr phys.Addr, st State, data []byte) (Victim, bool) {
 		panic("cache: Fill with Invalid state")
 	}
 	tag := phys.LineAddr(addr)
-	s := c.set(addr)
+	s := c.setAlloc(addr)
 	c.tick++
 	// Already present: update in place.
 	for i := range s {
@@ -264,10 +285,14 @@ func (c *Cache) SetState(addr phys.Addr, st State) bool {
 }
 
 // VisitValid calls fn for every valid line. fn must not mutate the cache.
+// Only sets that have ever been filled are visited, so a sparse working set
+// scans in time proportional to the lines touched, not the cache capacity.
 func (c *Cache) VisitValid(fn func(l *Line)) {
-	for i := range c.lines {
-		if c.lines[i].State != Invalid {
-			fn(&c.lines[i])
+	for _, s := range c.setArr {
+		for i := range s {
+			if s[i].State != Invalid {
+				fn(&s[i])
+			}
 		}
 	}
 }
@@ -275,17 +300,19 @@ func (c *Cache) VisitValid(fn func(l *Line)) {
 // FlushAll invalidates every line, calling writeback for each dirty victim
 // (Modified or Owned) before dropping it. writeback may be nil.
 func (c *Cache) FlushAll(writeback func(v Victim)) {
-	for i := range c.lines {
-		l := &c.lines[i]
-		if l.State == Invalid {
-			continue
+	for _, s := range c.setArr {
+		for i := range s {
+			l := &s[i]
+			if l.State == Invalid {
+				continue
+			}
+			if writeback != nil && (l.State == Modified || l.State == Owned) {
+				c.stats.Writebacks++
+				writeback(Victim{Addr: l.Tag, State: l.State, Data: l.Data})
+			}
+			c.stats.Invalidations++
+			*l = Line{}
 		}
-		if writeback != nil && (l.State == Modified || l.State == Owned) {
-			c.stats.Writebacks++
-			writeback(Victim{Addr: l.Tag, State: l.State, Data: l.Data})
-		}
-		c.stats.Invalidations++
-		*l = Line{}
 	}
 }
 
@@ -294,18 +321,20 @@ func (c *Cache) FlushAll(writeback func(v Victim)) {
 // through writeback (may be nil).
 func (c *Cache) FlushRange(r phys.Range, writeback func(v Victim)) int {
 	flushed := 0
-	for i := range c.lines {
-		l := &c.lines[i]
-		if l.State == Invalid || !r.Contains(l.Tag) {
-			continue
+	for _, s := range c.setArr {
+		for i := range s {
+			l := &s[i]
+			if l.State == Invalid || !r.Contains(l.Tag) {
+				continue
+			}
+			if writeback != nil && (l.State == Modified || l.State == Owned) {
+				c.stats.Writebacks++
+				writeback(Victim{Addr: l.Tag, State: l.State, Data: l.Data})
+			}
+			c.stats.Invalidations++
+			*l = Line{}
+			flushed++
 		}
-		if writeback != nil && (l.State == Modified || l.State == Owned) {
-			c.stats.Writebacks++
-			writeback(Victim{Addr: l.Tag, State: l.State, Data: l.Data})
-		}
-		c.stats.Invalidations++
-		*l = Line{}
-		flushed++
 	}
 	return flushed
 }
@@ -313,9 +342,11 @@ func (c *Cache) FlushRange(r phys.Range, writeback func(v Victim)) int {
 // CountValid returns the number of valid lines (for occupancy checks).
 func (c *Cache) CountValid() int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].State != Invalid {
-			n++
+	for _, s := range c.setArr {
+		for i := range s {
+			if s[i].State != Invalid {
+				n++
+			}
 		}
 	}
 	return n

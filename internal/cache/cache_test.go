@@ -371,3 +371,43 @@ func BenchmarkFillEvict(b *testing.B) {
 		c.Fill(phys.Addr(i*64), Modified, nil)
 	}
 }
+
+// TestLazySetAllocation pins the deferred line-storage contract: a fresh
+// cache answers every read-path query (Lookup, Peek, Invalidate, the
+// whole-cache iterators) without ever materializing a set, and a Fill
+// materializes exactly the one set it touches. Sparse rigs rely on this —
+// eagerly zeroing a 60 MB LLC per parallel job dominated experiment setup.
+func TestLazySetAllocation(t *testing.T) {
+	c := MustNew("lazy", 1<<20, 4) // 4096 sets
+	if got := testing.AllocsPerRun(10, func() {
+		if c.Lookup(0x1000) != nil || c.Peek(0x2000) != nil {
+			t.Fatal("phantom line in empty cache")
+		}
+		if _, _, ok := c.Invalidate(0x3000); ok {
+			t.Fatal("invalidate hit in empty cache")
+		}
+		if c.CountValid() != 0 {
+			t.Fatal("valid lines in empty cache")
+		}
+		c.VisitValid(func(*Line) { t.Fatal("visit in empty cache") })
+		c.FlushAll(nil)
+	}); got != 0 {
+		t.Fatalf("read paths allocated %.1f times on an empty cache", got)
+	}
+
+	// Fills land in two distinct sets; reads then see exactly those lines.
+	c.Fill(0x0040, Exclusive, nil)
+	c.Fill(0x1040, Modified, nil)
+	if c.CountValid() != 2 {
+		t.Fatalf("CountValid = %d, want 2", c.CountValid())
+	}
+	if l := c.Lookup(0x0040); l == nil || l.State != Exclusive {
+		t.Fatalf("lookup after lazy fill: %+v", l)
+	}
+	if n := c.FlushRange(phys.Range{Base: 0x1000, Size: 0x100}, nil); n != 1 {
+		t.Fatalf("FlushRange flushed %d, want 1", n)
+	}
+	if c.CountValid() != 1 {
+		t.Fatalf("CountValid after flush = %d, want 1", c.CountValid())
+	}
+}

@@ -81,10 +81,11 @@ func New(p *timing.Params, cfg Config) (*Host, error) {
 		UPI:     interconnect.NewLink("upi", p.UPI.OneWay, p.UPI.BytesPerSec),
 		CXLLink: interconnect.NewLink("cxl", p.CXL.OneWay, p.CXL.BytesPerSec),
 	}
+	// Cores are constructed on first use (Core): each one carries seven
+	// named resources/credit pools, and most rigs exercise one or two of
+	// the 32 modeled cores, so eager construction was a measurable slice of
+	// per-job rig setup in the parallel experiment runner.
 	h.cores = make([]*Core, cfg.Cores)
-	for i := range h.cores {
-		h.cores[i] = newCore(h, i)
-	}
 	return h, nil
 }
 
@@ -123,8 +124,13 @@ func (h *Host) Channels() *mem.Channels { return h.chs }
 // AddrMap exposes the system address map.
 func (h *Host) AddrMap() *mem.Map { return h.amap }
 
-// Core returns core i.
-func (h *Host) Core(i int) *Core { return h.cores[i] }
+// Core returns core i, constructing it on first use.
+func (h *Host) Core(i int) *Core {
+	if h.cores[i] == nil {
+		h.cores[i] = newCore(h, i)
+	}
+	return h.cores[i]
+}
 
 // NumCores reports the modeled core count.
 func (h *Host) NumCores() int { return len(h.cores) }
@@ -140,7 +146,9 @@ func (h *Host) ResetTiming() {
 	h.UPI.Reset()
 	h.CXLLink.Reset()
 	for _, c := range h.cores {
-		c.resetTiming()
+		if c != nil { // never-touched cores are already idle
+			c.resetTiming()
+		}
 	}
 	if h.Dev != nil {
 		h.Dev.ResetTiming()

@@ -28,6 +28,9 @@ type Kswapd struct {
 
 	wakeups uint64
 	stopped bool
+	// stepFn is the step method bound once, so each reclaim batch
+	// reschedules without a per-event method-value allocation.
+	stepFn func(*sim.Proc)
 }
 
 // NewKswapd builds the daemon on core (a sim.Resource run queue) and wires
@@ -40,6 +43,7 @@ func NewKswapd(eng *sim.Engine, mm *MM, core *sim.Resource) *Kswapd {
 		BatchPause: 2 * sim.Microsecond,
 		BatchSize:  4,
 	}
+	k.stepFn = k.step
 	mm.KswapdWake = k.Wake
 	return k
 }
@@ -61,7 +65,7 @@ func (k *Kswapd) Wake() {
 	k.running = true
 	k.wakeups++
 	k.proc.AdvanceTo(k.eng.Now())
-	k.proc.Schedule(k.step)
+	k.proc.Schedule(k.stepFn)
 }
 
 // step reclaims up to BatchSize pages within one scheduling quantum. A
@@ -90,5 +94,5 @@ func (k *Kswapd) step(p *sim.Proc) {
 		}
 	}
 	p.Sleep(k.BatchPause)
-	p.Schedule(k.step)
+	p.Schedule(k.stepFn)
 }

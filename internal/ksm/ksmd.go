@@ -25,17 +25,25 @@ type Daemon struct {
 	stopped bool
 	batches uint64
 	coreIdx int
+	// inBatch is the page count of the batch in progress, carried across
+	// per-page scheduling slices of an offloaded backend.
+	inBatch int
+	// stepFn is the step method bound once, so the scan loop reschedules
+	// without a per-event closure or method-value allocation.
+	stepFn func(*sim.Proc)
 }
 
 // NewDaemon builds ksmd over scanner, pinned to core.
 func NewDaemon(eng *sim.Engine, scanner *Scanner, core *sim.Resource) *Daemon {
-	return &Daemon{
+	d := &Daemon{
 		Scanner:       scanner,
 		eng:           eng,
 		proc:          sim.NewProc(eng, "ksmd", core),
 		PagesPerBatch: 100,
 		SleepBetween:  20 * sim.Millisecond,
 	}
+	d.stepFn = d.step
+	return d
 }
 
 // Proc exposes the daemon's process.
@@ -51,28 +59,27 @@ func (d *Daemon) Start() {
 	}
 	d.running = true
 	d.stopped = false
+	d.inBatch = 0
 	d.proc.AdvanceTo(d.eng.Now())
-	d.proc.Schedule(d.step)
+	d.proc.Schedule(d.stepFn)
 }
 
 // Stop halts the loop after the current batch.
 func (d *Daemon) Stop() { d.stopped = true }
 
+// step scans pages until the quantum ends, resuming the batch recorded in
+// d.inBatch. A host-CPU backend fills the whole PagesPerBatch quantum in
+// one scheduling slice (co-runners on the core wait — the §VII
+// interference); an offloaded backend makes the scanner sleep per page, so
+// each page is its own event and co-runners interleave in simulated-time
+// order.
 func (d *Daemon) step(p *sim.Proc) {
-	d.stepN(p, 0)
-}
-
-// stepN scans pages until the quantum ends. A host-CPU backend fills the
-// whole PagesPerBatch quantum in one scheduling slice (co-runners on the
-// core wait — the §VII interference); an offloaded backend makes the
-// scanner sleep per page, so each page is its own event and co-runners
-// interleave in simulated-time order.
-func (d *Daemon) stepN(p *sim.Proc, inBatch int) {
 	if d.stopped {
 		d.running = false
 		return
 	}
 	offloaded := d.Scanner.Backend().Offloaded()
+	inBatch := d.inBatch
 	for {
 		d.Scanner.ScanOne(p)
 		inBatch++
@@ -90,5 +97,6 @@ func (d *Daemon) stepN(p *sim.Proc, inBatch int) {
 			break // the device wait was a yield: new event per page
 		}
 	}
-	p.Schedule(func(p *sim.Proc) { d.stepN(p, inBatch) })
+	d.inBatch = inBatch
+	p.Schedule(d.stepFn)
 }

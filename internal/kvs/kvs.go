@@ -66,6 +66,10 @@ type Server struct {
 	eng  *sim.Engine
 	core *sim.Resource
 	as   *kernel.AddressSpace
+	// req is the request process, reused (via Restart) across requests:
+	// requests run synchronously inside their arrival event, so one chain
+	// is always finished before the next begins and reuse is safe.
+	req *sim.Proc
 
 	recPerPage uint64
 	// pollution returns the cumulative polluted-line count of the kernel
@@ -100,6 +104,7 @@ func NewServer(eng *sim.Engine, cfg Config, core *sim.Resource, as *kernel.Addre
 		cleanLat:   stats.NewSample(4096),
 		verifyOK:   true,
 	}
+	s.req = sim.NewProc(eng, "req", core)
 	return s, nil
 }
 
@@ -143,7 +148,8 @@ func valueOK(v []byte, key uint64) bool {
 // request on the server's core, faulting pages in as needed, and records
 // the end-to-end latency.
 func (s *Server) Serve(op ycsb.Op, arrival sim.Time) {
-	proc := sim.NewProc(s.eng, "req", s.core)
+	proc := s.req
+	proc.Restart()
 	proc.AdvanceTo(arrival)
 
 	// Cache-pollution penalty: lines displaced by kernel features since the

@@ -54,16 +54,22 @@ func (l *LoadGen) scheduleNext(now sim.Time) {
 	if gap < sim.Nanosecond {
 		gap = sim.Nanosecond
 	}
-	l.eng.At(now+gap, func() {
-		if l.stopped {
-			return
-		}
-		op := l.gen.Next()
-		s := l.servers[l.next%len(l.servers)]
-		l.next++
-		s.Serve(op, l.eng.Now())
-		l.scheduleNext(l.eng.Now())
-	})
+	// Arrivals are the densest event stream in the §VII runs; carrying the
+	// generator through AtCall keeps the steady state allocation-free where
+	// a closure here would allocate per request.
+	l.eng.AtCall(now+gap, loadGenArrive, l)
+}
+
+func loadGenArrive(arg any) {
+	l := arg.(*LoadGen)
+	if l.stopped {
+		return
+	}
+	op := l.gen.Next()
+	s := l.servers[l.next%len(l.servers)]
+	l.next++
+	s.Serve(op, l.eng.Now())
+	l.scheduleNext(l.eng.Now())
 }
 
 // Antagonist is the memory-churning co-runner of the zswap experiment: it
@@ -83,6 +89,9 @@ type Antagonist struct {
 
 	nextVPN uint64
 	stopped bool
+	// stepFn is the step method bound once, so rescheduling it costs no
+	// per-event method-value allocation.
+	stepFn func(*sim.Proc)
 }
 
 // PollutedLines reports the cumulative LLC displacement of the antagonist's
@@ -92,7 +101,7 @@ func (a *Antagonist) PollutedLines() uint64 { return a.nextVPN * phys.LinesPerPa
 // NewAntagonist builds the churner on core (its allocations' direct-reclaim
 // work runs there).
 func NewAntagonist(eng *sim.Engine, as *kernel.AddressSpace, core *sim.Resource, seed int64) *Antagonist {
-	return &Antagonist{
+	a := &Antagonist{
 		eng:           eng,
 		proc:          sim.NewProc(eng, "antagonist", core),
 		as:            as,
@@ -101,13 +110,15 @@ func NewAntagonist(eng *sim.Engine, as *kernel.AddressSpace, core *sim.Resource,
 		Interval:      500 * sim.Microsecond,
 		Keep:          256,
 	}
+	a.stepFn = a.step
+	return a
 }
 
 // Start begins the churn loop.
 func (a *Antagonist) Start() {
 	a.stopped = false
 	a.proc.AdvanceTo(a.eng.Now())
-	a.proc.Schedule(a.step)
+	a.proc.Schedule(a.stepFn)
 }
 
 // Stop halts the loop.
@@ -131,5 +142,5 @@ func (a *Antagonist) step(p *sim.Proc) {
 		}
 	}
 	p.Sleep(a.Interval)
-	p.Schedule(a.step)
+	p.Schedule(a.stepFn)
 }

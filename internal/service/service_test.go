@@ -281,6 +281,11 @@ func TestConcurrentFloodSheds429AndKeepsCacheSound(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1, MaxConcurrent: 1, QueueDepth: 1})
 
 	const clients = 10
+	// floodReps keeps one fig3 job busy for tens of milliseconds so ten
+	// simultaneous clients reliably overrun the 1+1 admission bound; with
+	// a cheap job the single worker can drain arrivals as fast as the
+	// HTTP layer staggers them and nothing gets shed.
+	const floodReps = 8000
 	type outcome struct {
 		seed   int
 		status int
@@ -297,7 +302,7 @@ func TestConcurrentFloodSheds429AndKeepsCacheSound(t *testing.T) {
 				defer wg.Done()
 				<-start
 				seed := round*clients + i + 1
-				body := fmt.Sprintf(`{"reps":400,"seed":%d}`, seed)
+				body := fmt.Sprintf(`{"reps":%d,"seed":%d}`, floodReps, seed)
 				resp, err := http.Post(ts.URL+"/v1/sections/fig3", "application/json",
 					strings.NewReader(body))
 				if err != nil {
@@ -325,7 +330,7 @@ func TestConcurrentFloodSheds429AndKeepsCacheSound(t *testing.T) {
 				ok++
 				// Every accepted response must be reproducible from cache.
 				resp, b := post(t, ts.URL+"/v1/sections/fig3",
-					fmt.Sprintf(`{"reps":400,"seed":%d}`, o.seed))
+					fmt.Sprintf(`{"reps":%d,"seed":%d}`, floodReps, o.seed))
 				if resp.StatusCode != http.StatusOK || !bytes.Equal(b, o.body) {
 					t.Fatalf("seed %d: repeat %d / bytes differ — cache corrupted",
 						o.seed, resp.StatusCode)

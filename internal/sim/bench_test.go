@@ -1,0 +1,104 @@
+package sim
+
+import "testing"
+
+// The scheduling benchmarks model the two regimes every experiment lives
+// in: BenchmarkSchedule is the pure push/pop cost of a heap that stays
+// small, and BenchmarkRunDense is a dense timeline of self-rescheduling
+// actors — the shape of the §VII simulations (kswapd + ksmd + load
+// generator + antagonist all rescheduling themselves every few
+// microseconds). BenchmarkCreditsChurn is the Acquire/Complete cycle that
+// every modeled memory operation performs.
+
+// BenchmarkSchedule measures one schedule+dispatch round trip through the
+// event heap with a trivial, preallocated callback.
+func BenchmarkSchedule(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(1, fn)
+		if e.Pending() >= 1024 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkRunDense measures steady-state dispatch throughput (ns per
+// dispatched event) with 64 actors rescheduling themselves at staggered
+// 1ns periods, so the heap stays at a realistic working size and every
+// push races every pop.
+func BenchmarkRunDense(b *testing.B) {
+	e := NewEngine()
+	const actors = 64
+	remaining := b.N
+	b.ReportAllocs()
+	b.ResetTimer()
+	for a := 0; a < actors; a++ {
+		var step func()
+		step = func() {
+			if remaining <= 0 {
+				return
+			}
+			remaining--
+			e.After(Nanosecond, step)
+		}
+		e.After(Time(a), step)
+	}
+	e.Run()
+}
+
+// BenchmarkScheduleAtCall is BenchmarkSchedule through the
+// argument-carrying API — the form hot callers use.
+func BenchmarkScheduleAtCall(b *testing.B) {
+	e := NewEngine()
+	type state struct{ n int }
+	s := &state{}
+	fn := func(arg any) { arg.(*state).n++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.AfterCall(1, fn, s)
+		if e.Pending() >= 1024 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkProcChain measures a self-rescheduling process step — the
+// kswapd/ksmd/antagonist loop shape — through the pooled two-argument
+// path that Proc.Schedule uses.
+func BenchmarkProcChain(b *testing.B) {
+	e := NewEngine()
+	p := NewProc(e, "chain", nil)
+	remaining := b.N
+	var step func(*Proc)
+	step = func(p *Proc) {
+		if remaining <= 0 {
+			return
+		}
+		remaining--
+		p.Sleep(Nanosecond)
+		p.Schedule(step)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	p.Schedule(step)
+	e.Run()
+}
+
+// BenchmarkCreditsChurn measures the credit-pool cycle of a saturated
+// 16-entry pool: retire-by-now, acquire (often waiting on the earliest
+// completion), and complete.
+func BenchmarkCreditsChurn(b *testing.B) {
+	c := NewCredits("bench", 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := c.Acquire(Time(i))
+		c.Complete(s + 100)
+	}
+}

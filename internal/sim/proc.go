@@ -72,8 +72,22 @@ func (p *Proc) Compute(d Time) Time {
 	return p.at
 }
 
+// Restart rebinds the process-local clock to the engine's current time,
+// discarding local history. It exists so a server can reuse one Proc across
+// many short-lived request chains instead of allocating a Proc per request;
+// the caller must ensure the previous chain has fully run (no pending
+// Schedule) before restarting.
+func (p *Proc) Restart() { p.at = p.eng.Now() }
+
 // Schedule runs fn as an engine event at the process-local clock. The
 // callback receives the process so it can continue the chain.
+//
+// The proc and fn ride in a pooled two-argument event, so a chain that
+// reschedules a preallocated step function (rather than a fresh closure)
+// costs zero allocations per step.
 func (p *Proc) Schedule(fn func(p *Proc)) {
-	p.eng.At(p.at, func() { fn(p) })
+	p.eng.AtCall2(p.at, callProcStep, p, fn)
 }
+
+// callProcStep reunites a scheduled step with its process.
+func callProcStep(a, b any) { b.(func(*Proc))(a.(*Proc)) }

@@ -104,10 +104,13 @@ func (c *Credits) Acquire(now Time) (start Time) {
 		c.outstanding.popTime()
 	}
 	if len(c.outstanding) >= c.capacity {
-		earliest := c.outstanding.popTime()
-		if earliest > start {
-			start = earliest
-		}
+		// Pool exhausted. Every remaining completion is strictly after
+		// `start` (the loop above retired the rest), so the earliest one is
+		// the exact moment a credit frees: service is delayed to it, and
+		// popping it hands that credit to this operation. No earlier-than-
+		// start completion can be popped here — retirement already consumed
+		// those — so the pop frees exactly one still-in-flight credit.
+		start = c.outstanding.popTime()
 	}
 	return start
 }

@@ -139,6 +139,73 @@ func TestEngineStop(t *testing.T) {
 	}
 }
 
+// TestEngineFIFOAcrossSchedulingForms pins that At, AtCall and AtCall2
+// share one sequence counter: events at the same timestamp dispatch in
+// scheduling order regardless of which API scheduled them.
+func TestEngineFIFOAcrossSchedulingForms(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	add := func(arg any) { order = append(order, *arg.(*int)) }
+	add2 := func(a, _ any) { order = append(order, *a.(*int)) }
+	vals := make([]int, 9)
+	for i := range vals {
+		vals[i] = i
+		switch i % 3 {
+		case 0:
+			i := i
+			e.At(100, func() { order = append(order, i) })
+		case 1:
+			e.AtCall(100, add, &vals[i])
+		case 2:
+			e.AtCall2(100, add2, &vals[i], nil)
+		}
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("mixed-form same-timestamp order = %v", order)
+		}
+	}
+}
+
+// TestEngineStopBeforeRunIsDiscarded pins the documented Stop semantics:
+// Stop outside a dispatch loop does not cancel the next Run — RunUntil
+// clears the flag on entry, so all pending events still dispatch.
+func TestEngineStopBeforeRunIsDiscarded(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.At(10, func() { n++ })
+	e.At(20, func() { n++ })
+	e.Stop() // no loop running: deliberately a no-op
+	if end := e.Run(); end != 20 {
+		t.Fatalf("Run ended at %v, want 20", end)
+	}
+	if n != 2 {
+		t.Fatalf("Stop before Run suppressed events: n = %d, want 2", n)
+	}
+}
+
+// TestEngineStopInsideEvent pins the complementary half: Stop from inside a
+// callback halts after that event, leaves the rest pending, and a later
+// Run resumes them.
+func TestEngineStopInsideEvent(t *testing.T) {
+	e := NewEngine()
+	var order []Time
+	e.At(10, func() { order = append(order, e.Now()); e.Stop() })
+	e.At(10, func() { order = append(order, e.Now()) }) // same timestamp, after the Stop
+	e.At(20, func() { order = append(order, e.Now()) })
+	if end := e.Run(); end != 10 {
+		t.Fatalf("Run after Stop ended at %v, want 10", end)
+	}
+	if len(order) != 1 || e.Pending() != 2 {
+		t.Fatalf("after Stop: dispatched %v, pending %d", order, e.Pending())
+	}
+	e.Run()
+	if len(order) != 3 || order[1] != 10 || order[2] != 20 {
+		t.Fatalf("resume order = %v", order)
+	}
+}
+
 func TestEnginePastSchedulePanics(t *testing.T) {
 	e := NewEngine()
 	e.At(100, func() {})
@@ -330,6 +397,41 @@ func TestCreditsPipelineBandwidth(t *testing.T) {
 	}
 }
 
+// TestCreditsExhaustionInFlightCount is the regression test for the
+// Acquire exhaustion branch: after the retire-by-now loop every
+// outstanding completion is strictly in the future, so the pop that frees
+// a credit must consume exactly one still-in-flight completion — never a
+// credit that retirement already freed — and the in-flight count must
+// reflect it.
+func TestCreditsExhaustionInFlightCount(t *testing.T) {
+	c := NewCredits("mshr", 2)
+	// Fill the pool with completions at 50 and 80.
+	c.Complete(50)
+	c.Complete(80)
+	if c.InFlight() != 2 {
+		t.Fatalf("InFlight = %d, want 2", c.InFlight())
+	}
+	// Acquire at 10: nothing has retired, pool exhausted. Service starts at
+	// the earliest completion (50), and that completion's credit is the one
+	// handed over — exactly one entry leaves the multiset.
+	if start := c.Acquire(10); start != 50 {
+		t.Fatalf("start = %v, want 50", start)
+	}
+	if c.InFlight() != 1 {
+		t.Fatalf("InFlight after exhausted Acquire = %d, want 1 (only the freed credit may be popped)", c.InFlight())
+	}
+	c.Complete(120)
+	// Acquire at 90: the completion at 80 retires in the loop, freeing a
+	// slot — the exhaustion branch must NOT run, and no in-flight credit
+	// (120) may be consumed.
+	if start := c.Acquire(90); start != 90 {
+		t.Fatalf("start = %v, want 90", start)
+	}
+	if c.InFlight() != 1 {
+		t.Fatalf("InFlight after retire-path Acquire = %d, want 1 (the 120 completion must survive)", c.InFlight())
+	}
+}
+
 func TestCreditsInvalidCapacityPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -409,6 +511,22 @@ func TestProcSchedule(t *testing.T) {
 	e.Run()
 	if ran != 42 {
 		t.Fatalf("scheduled at %v, want 42", ran)
+	}
+}
+
+func TestProcRestart(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {})
+	p := NewProc(e, "req", nil)
+	p.Sleep(40) // local clock runs ahead: 40
+	e.Run()     // engine reaches 100
+	p.Restart()
+	if p.Now() != 100 {
+		t.Fatalf("Now after Restart = %v, want 100 (engine time)", p.Now())
+	}
+	p.AdvanceTo(150)
+	if p.Now() != 150 {
+		t.Fatalf("Now = %v", p.Now())
 	}
 }
 
