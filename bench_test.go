@@ -17,6 +17,7 @@ import (
 	devicepkg "repro/internal/device"
 	"repro/internal/experiments"
 	hostpkg "repro/internal/host"
+	"repro/internal/infer"
 	"repro/internal/sim"
 	"repro/internal/ycsb"
 )
@@ -42,6 +43,23 @@ func BenchmarkFig3(b *testing.B) {
 	ld := experiments.Fig3Find(rows, "ld", false, true)
 	b.ReportMetric(cs.LatencyNs, "CS-rd-LLC1-ns")
 	b.ReportMetric(100*(cs.LatencyNs-ld.LatencyNs)/ld.LatencyNs, "vs-ld-%")
+}
+
+// BenchmarkInfer runs one serving simulation — Poisson arrivals,
+// continuous batching, paged KV cache on Type-2 device-bias memory — and
+// reports the serving-quality metrics alongside ns/op, so the perf gate
+// covers the inference path end to end.
+func BenchmarkInfer(b *testing.B) {
+	var m infer.Metrics
+	for i := 0; i < b.N; i++ {
+		m = infer.Run(infer.Config{
+			Seed:   7,
+			Far:    infer.TierT2Dev,
+			Policy: infer.StaticSplit{},
+		})
+	}
+	b.ReportMetric(m.TPOT.Mean()*1000, "TPOT-ns")
+	b.ReportMetric(m.Goodput/1000, "goodput-ktoks")
 }
 
 func BenchmarkFig4(b *testing.B) {

@@ -1,7 +1,8 @@
 // Command cxlbench regenerates the paper's device-characterization
 // experiments (§V): Fig. 3 (D2H true vs emulated), Fig. 4 (D2D bias
 // modes), Fig. 5 (H2D Type-2 vs Type-3), Fig. 6 (CXL vs PCIe transfer
-// sweep), Table III (coherence states) and the §V-A write-queue sweep.
+// sweep), Table III (coherence states), the §V-A write-queue sweep, and
+// the LLM-serving KV-cache placement study (infer).
 //
 // Experiments run as self-contained jobs over a shared-nothing worker
 // pool (-parallel, default GOMAXPROCS workers); per-job seeds derive from
@@ -11,7 +12,7 @@
 // Usage:
 //
 //	cxlbench [-reps N] [-parallel N | -serial] [-seed S]
-//	         [-bench-json PATH] [fig3|fig4|fig5|fig6|table3|wqsweep|all]
+//	         [-bench-json PATH] [fig3|fig4|fig5|fig6|table3|wqsweep|infer|all]
 package main
 
 import (
@@ -43,7 +44,7 @@ func run() int {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this path (go tool pprof)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cxlbench [-reps N] [-parallel N | -serial] [-seed S] [fig3|fig4|fig5|fig6|table3|wqsweep|all]\n")
+		fmt.Fprintf(os.Stderr, "usage: cxlbench [-reps N] [-parallel N | -serial] [-seed S] [fig3|fig4|fig5|fig6|table3|wqsweep|infer|all]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()

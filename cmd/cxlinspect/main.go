@@ -2,7 +2,9 @@
 // demonstrates the CXL Type-2 coherence machinery interactively: it issues
 // a few D2H/D2D/H2D accesses against a live system and prints the cache
 // states and latencies observed, cross-validated the way §V's methodology
-// does.
+// does. With -kv it instead runs a small LLM-serving simulation and
+// summarizes the per-tier KV-block traffic, both from the serving model's
+// own counters and from the device's transaction trace.
 package main
 
 import (
@@ -11,11 +13,21 @@ import (
 	"os"
 
 	cxl2sim "repro"
+	"repro/internal/infer"
+	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 func main() {
 	csv := flag.Bool("csv", false, "dump the transaction trace as CSV instead of a summary")
+	kv := flag.Bool("kv", false, "run a small LLM-serving sim and summarize per-tier KV-block traffic")
+	kvSeed := flag.Int64("seed", 7, "workload seed for -kv")
 	flag.Parse()
+
+	if *kv {
+		inspectKV(*kvSeed)
+		return
+	}
 
 	p := cxl2sim.DefaultParams()
 	s := cxl2sim.MustNewSystem(cxl2sim.Config{LLCBytes: 8 << 20, LLCWays: 16, Cores: 8})
@@ -93,4 +105,39 @@ func main() {
 // traceSummary renders the trace buffer's per-op aggregation.
 func traceSummary(buf *cxl2sim.TraceBuffer) string {
 	return cxl2sim.FormatTraceSummary(buf)
+}
+
+// inspectKV runs one small serving simulation with the KV cache split
+// across host DRAM and Type-2 device-bias memory under the LRU spill
+// policy — the scenario that exercises every datapath: host loads, D2D
+// reads, and DSA migrations — then prints the per-tier traffic.
+func inspectKV(seed int64) {
+	m := infer.Run(infer.Config{
+		Seed:       seed,
+		Requests:   24,
+		Far:        infer.TierT2Dev,
+		Policy:     infer.LRUSpill{LowWater: 8, HighWater: 12},
+		DRAMBlocks: 16,
+		TraceCap:   1 << 14,
+	})
+
+	fmt.Printf("LLM serving sim: %d requests, policy %s, far tier %v\n",
+		m.Requests, m.Policy, m.Far)
+	fmt.Printf("  TTFT p50 %.2f us   TPOT %.3f us/token   goodput %.0f tok/s\n",
+		m.TTFT.Median(), m.TPOT.Mean(), m.Goodput)
+
+	fmt.Println("\nKV-block traffic by tier (serving-model counters)")
+	fmt.Printf("  %-10s %12s %12s\n", "tier", "read(B)", "write(B)")
+	for _, tier := range infer.Tiers() {
+		r, w := m.ReadBytes[tier], m.WriteBytes[tier]
+		if r == 0 && w == 0 {
+			continue
+		}
+		fmt.Printf("  %-10s %12d %12d\n", tier, r, w)
+	}
+	fmt.Printf("  migrations: %d blocks, %d bytes via DSA\n", m.Migrations, m.MigratedBytes)
+
+	fmt.Println("\nCXL-visible traffic by datapath (device transaction trace)")
+	rows := trace.SummarizeTiers(m.Trace.Events(), mem.RegionDevice.Contains)
+	trace.WriteTierSummary(os.Stdout, rows)
 }

@@ -1,0 +1,63 @@
+// kv-tiering: where should an LLM serving engine put its paged KV cache?
+// The walkthrough runs the same request stream through every placement the
+// platform offers — host DRAM, Type-2 device memory under device and host
+// bias, a Type-3 expander, plain PCIe DMA — plus the two adaptive
+// policies (LRU spill via DSA, device-bias-pinned decode), and prints the
+// serving metrics side by side. The ordering that falls out is the
+// paper's Type-2 argument restated for inference serving: coherent
+// device-bias memory is the cheapest place outside DRAM to keep KV state.
+//
+//	go run ./examples/kv-tiering
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/infer"
+)
+
+// scenario pairs a label with a placement.
+type scenario struct {
+	name string
+	far  infer.Tier
+	pol  infer.Policy
+	dram int // DRAM pool override (0 = default)
+}
+
+func main() {
+	const seed = 7
+	scenarios := []scenario{
+		{name: "all-DRAM baseline", far: infer.TierDRAM, pol: infer.AllDRAM{}},
+		{name: "KV on Type-2 (device bias)", far: infer.TierT2Dev, pol: infer.StaticSplit{}},
+		{name: "KV on Type-2 (host bias)", far: infer.TierT2Host, pol: infer.StaticSplit{}},
+		{name: "KV on Type-3 expander", far: infer.TierT3, pol: infer.StaticSplit{}},
+		{name: "KV behind PCIe DMA", far: infer.TierPCIe, pol: infer.StaticSplit{}},
+		{name: "LRU spill to Type-2 (16-block DRAM)", far: infer.TierT2Dev,
+			pol: infer.LRUSpill{LowWater: 8, HighWater: 12}, dram: 16},
+		{name: "decode pinned to device bias", far: infer.TierT2Dev, pol: infer.PinnedDecode{}},
+	}
+
+	fmt.Println("LLM serving over the simulated memory system")
+	fmt.Println("same 48-request Poisson stream, continuous batching, paged KV cache")
+	fmt.Printf("\n%-36s %10s %10s %12s %10s\n",
+		"placement", "TTFT(us)", "TPOT(us)", "goodput", "migrated")
+	for _, sc := range scenarios {
+		m := infer.Run(infer.Config{
+			Seed:       seed,
+			Far:        sc.far,
+			Policy:     sc.pol,
+			DRAMBlocks: sc.dram,
+		})
+		fmt.Printf("%-36s %10.2f %10.3f %9.0f/s %8d B\n",
+			sc.name, m.TTFT.Median(), m.TPOT.Mean(), m.Goodput, m.MigratedBytes)
+	}
+
+	fmt.Println("\nreading the table:")
+	fmt.Println("  - DRAM wins outright; device-bias Type-2 memory is the cheapest far tier")
+	fmt.Println("    (near-memory D2D reads, no host round trip, no bias check)")
+	fmt.Println("  - host bias pays the snoop-filter check on every device access")
+	fmt.Println("  - Type-3 pays a full CXL.mem round trip per line; PCIe pays DMA setup,")
+	fmt.Println("    completion and interrupt per block — setup-dominated at KV-block sizes")
+	fmt.Println("  - the adaptive policies keep hot blocks in DRAM and land within a few")
+	fmt.Println("    percent of the baseline while fitting a fraction of its DRAM")
+}

@@ -104,6 +104,26 @@ func RunFig8(feature string, workloads []Workload, cfg Fig8Config) []Fig8Row {
 // PrintFig8 renders Fig. 8 rows.
 func PrintFig8(w io.Writer, rows []Fig8Row) { experiments.PrintFig8(w, rows) }
 
+// InferRow is one scenario of the LLM-serving KV-placement experiment:
+// TTFT/TPOT/goodput plus per-tier KV traffic for one placement policy.
+type InferRow = experiments.InferRow
+
+// InferConfig tunes the serving experiment (zero values take the default
+// 48-request runs with the job's derived seed).
+type InferConfig = experiments.InferConfig
+
+// RunInfer runs every KV-placement scenario (all-DRAM baseline, one
+// static placement per far tier, LRU spill, device-bias-pinned decode).
+func RunInfer(cfg InferConfig) []InferRow { return experiments.Infer(cfg) }
+
+// PrintInfer renders the serving rows.
+func PrintInfer(w io.Writer, rows []InferRow) { experiments.PrintInfer(w, rows) }
+
+// FindInferRow locates a scenario's row by name (e.g. "all-dram").
+func FindInferRow(rows []InferRow, scenario string) InferRow {
+	return experiments.InferFind(rows, scenario)
+}
+
 // WriteQueueRow is one point of the §V-A write-queue sweep.
 type WriteQueueRow = experiments.WriteQueueRow
 

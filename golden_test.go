@@ -155,6 +155,15 @@ func TestWriteQueueSweepGolden(t *testing.T) {
 	checkGolden(t, "writequeue.golden", buf.String())
 }
 
+// TestInferGolden pins the LLM-serving KV-placement section: the table
+// shape is exact, the numbers tolerant — but the tolerance still rejects
+// a tier-ordering flip (PCIe TPOT is an order of magnitude above DRAM).
+func TestInferGolden(t *testing.T) {
+	var buf bytes.Buffer
+	cxl2sim.PrintInfer(&buf, cxl2sim.RunInfer(cxl2sim.InferConfig{Seed: 42}))
+	checkGolden(t, "infer.golden", buf.String())
+}
+
 // TestGoldenComparatorRejectsDrift guards the comparator itself: exact
 // text changes and out-of-tolerance numbers must both fail.
 func TestGoldenComparatorRejectsDrift(t *testing.T) {

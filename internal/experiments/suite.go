@@ -94,6 +94,7 @@ func Sections(reps int) []Section {
 		section("fig5", Fig5Jobs(f5), PrintFig5),
 		section("fig6", Fig6Jobs(), PrintFig6),
 		section("wqsweep", WriteQueueSweepJobs(nil), PrintWriteQueueSweep),
+		section("infer", InferJobs(InferConfig{Reps: reps}), PrintInfer),
 	}
 }
 

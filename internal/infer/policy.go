@@ -1,0 +1,123 @@
+package infer
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Phase distinguishes where a new block comes from: the prompt's prefill
+// burst or the token-at-a-time decode tail.
+type Phase uint8
+
+// Serving phases.
+const (
+	Prefill Phase = iota
+	Decode
+)
+
+// Class is the policy's placement verdict: the near (host DRAM) pool or
+// the configured far tier.
+type Class uint8
+
+// Placement classes.
+const (
+	Near Class = iota
+	Far
+)
+
+// Policy decides where new KV blocks land and when existing ones move.
+// Policies must be deterministic: the same sequence of Place/Rebalance
+// calls must produce the same placements.
+type Policy interface {
+	// Name labels the policy in reports.
+	Name() string
+	// Place picks the pool for the seqBlock-th block of a sequence.
+	Place(ph Phase, seqBlock int) Class
+	// Rebalance runs after every scheduler step and may migrate blocks
+	// (via Sim.migrate). Most policies do nothing.
+	Rebalance(s *Sim, now sim.Time)
+}
+
+// AllDRAM keeps every block in host DRAM — the serving baseline (and the
+// fallback when no far tier is configured).
+type AllDRAM struct{}
+
+// Name implements Policy.
+func (AllDRAM) Name() string { return "all-dram" }
+
+// Place implements Policy.
+func (AllDRAM) Place(Phase, int) Class { return Near }
+
+// Rebalance implements Policy.
+func (AllDRAM) Rebalance(*Sim, sim.Time) {}
+
+// StaticSplit keeps the first NearBlocks blocks of every sequence in DRAM
+// and spills the rest to the far tier — the "head of the KV stays hot"
+// placement.
+type StaticSplit struct {
+	// NearBlocks is how many leading blocks per sequence stay in DRAM.
+	NearBlocks int
+}
+
+// Name implements Policy.
+func (p StaticSplit) Name() string { return fmt.Sprintf("split-%d", p.NearBlocks) }
+
+// Place implements Policy.
+func (p StaticSplit) Place(_ Phase, seqBlock int) Class {
+	if seqBlock < p.NearBlocks {
+		return Near
+	}
+	return Far
+}
+
+// Rebalance implements Policy.
+func (StaticSplit) Rebalance(*Sim, sim.Time) {}
+
+// LRUSpill places everything in DRAM and, when the DRAM pool drains below
+// LowWater free blocks, migrates the least-recently-used blocks to the
+// far tier via DSA until HighWater free blocks are available — the
+// tiered-KV eviction loop.
+type LRUSpill struct {
+	// LowWater triggers spilling; HighWater is the refill target.
+	LowWater, HighWater int
+}
+
+// Name implements Policy.
+func (LRUSpill) Name() string { return "lru-spill" }
+
+// Place implements Policy.
+func (LRUSpill) Place(Phase, int) Class { return Near }
+
+// Rebalance implements Policy.
+func (p LRUSpill) Rebalance(s *Sim, now sim.Time) {
+	if s.cache.nearFree() >= p.LowWater {
+		return
+	}
+	for s.cache.nearFree() < p.HighWater {
+		cold := s.cache.coldestNear()
+		if cold == nil || !s.migrate(cold, now) {
+			return // nothing left to move or far pool full
+		}
+	}
+}
+
+// PinnedDecode places prefill KV in DRAM and decode KV in the far tier.
+// With the far tier in Type-2 device-bias memory this is the paper's
+// cooperative placement: the decode working set lives where the
+// near-memory engine reads it without host round trips.
+type PinnedDecode struct{}
+
+// Name implements Policy.
+func (PinnedDecode) Name() string { return "pinned-decode" }
+
+// Place implements Policy.
+func (PinnedDecode) Place(ph Phase, _ int) Class {
+	if ph == Decode {
+		return Far
+	}
+	return Near
+}
+
+// Rebalance implements Policy.
+func (PinnedDecode) Rebalance(*Sim, sim.Time) {}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/phys"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/workload"
 	"repro/internal/ycsb"
 )
 
@@ -15,14 +16,13 @@ import (
 // — the YCSB-client side of §VII. Arrivals are scheduled on the engine so
 // request handling interleaves with kswapd/ksmd activity in simulated time.
 type LoadGen struct {
-	eng     *sim.Engine
-	servers []*Server
-	gen     *ycsb.Generator
-	rng     *rand.Rand
-	// RatePerSec is the aggregate arrival rate across all servers.
-	RatePerSec float64
-	next       int
-	stopped    bool
+	eng      *sim.Engine
+	servers  []*Server
+	gen      *ycsb.Generator
+	rng      *rand.Rand
+	arrivals workload.Poisson
+	next     int
+	stopped  bool
 }
 
 // NewLoadGen builds a Poisson load generator at ratePerSec aggregate ops/s.
@@ -31,13 +31,16 @@ func NewLoadGen(eng *sim.Engine, servers []*Server, gen *ycsb.Generator, ratePer
 		panic("kvs: servers and positive rate required")
 	}
 	return &LoadGen{
-		eng:        eng,
-		servers:    servers,
-		gen:        gen,
-		rng:        rng.New(seed),
-		RatePerSec: ratePerSec,
+		eng:      eng,
+		servers:  servers,
+		gen:      gen,
+		rng:      rng.New(seed),
+		arrivals: workload.Poisson{RatePerSec: ratePerSec},
 	}
 }
+
+// RatePerSec reports the aggregate arrival rate across all servers.
+func (l *LoadGen) RatePerSec() float64 { return l.arrivals.RatePerSec }
 
 // Start schedules the arrival process beginning at the engine's current
 // time; it continues until Stop or the horizon passed to RunFor.
@@ -50,10 +53,7 @@ func (l *LoadGen) Start() {
 func (l *LoadGen) Stop() { l.stopped = true }
 
 func (l *LoadGen) scheduleNext(now sim.Time) {
-	gap := sim.Time(l.rng.ExpFloat64() / l.RatePerSec * float64(sim.Second))
-	if gap < sim.Nanosecond {
-		gap = sim.Nanosecond
-	}
+	gap := l.arrivals.Gap(l.rng)
 	// Arrivals are the densest event stream in the §VII runs; carrying the
 	// generator through AtCall keeps the steady state allocation-free where
 	// a closure here would allocate per request.

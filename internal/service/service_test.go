@@ -86,7 +86,7 @@ func TestHealthzAndSectionsList(t *testing.T) {
 		t.Fatalf("sections decode: %v", err)
 	}
 	want := map[string]bool{"table3": true, "fig3": true, "fig4": true,
-		"fig5": true, "fig6": true, "wqsweep": true}
+		"fig5": true, "fig6": true, "wqsweep": true, "infer": true}
 	if len(list.Sections) != len(want) {
 		t.Fatalf("%d sections, want %d: %s", len(list.Sections), len(want), body)
 	}
@@ -151,6 +151,43 @@ func TestSectionDeterminismAndCacheHit(t *testing.T) {
 	}
 	if !bytes.Equal(b1, b3) {
 		t.Fatal("bytes depend on the server's worker count")
+	}
+}
+
+// TestInferSectionCacheHit extends the determinism guarantee to the
+// LLM-serving section: MISS then HIT with byte-identical bodies, both
+// matching an in-process serial render of the same (reps, seed).
+func TestInferSectionCacheHit(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+
+	body := fmt.Sprintf(`{"reps":%d,"seed":7}`, testReps)
+	resp1, b1 := post(t, ts.URL+"/v1/sections/infer", body)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first: %d %s", resp1.StatusCode, b1)
+	}
+	if got := resp1.Header.Get("X-Cache"); got != "MISS" {
+		t.Fatalf("first X-Cache = %q, want MISS", got)
+	}
+	resp2, b2 := post(t, ts.URL+"/v1/sections/infer", body)
+	if got := resp2.Header.Get("X-Cache"); got != "HIT" {
+		t.Fatalf("second X-Cache = %q, want HIT", got)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("cached body differs:\n%s\n----\n%s", b1, b2)
+	}
+
+	secs := cxl2sim.ExperimentSections(testReps)
+	sec, ok := cxl2sim.ExperimentSectionByName(secs, "infer")
+	if !ok {
+		t.Fatal("infer section missing from registry")
+	}
+	results := cxl2sim.RunJobs(sec.Jobs, cxl2sim.JobOptions{Workers: 1, RootSeed: 7})
+	var ref bytes.Buffer
+	if err := sec.Render(&ref, results); err != nil {
+		t.Fatalf("reference render: %v", err)
+	}
+	if !bytes.Equal(b1, ref.Bytes()) {
+		t.Fatalf("served bytes differ from serial render:\n%s\n----\n%s", b1, ref.Bytes())
 	}
 }
 

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/phys"
+)
+
+// TierTraffic aggregates traced lines by access kind and target region —
+// the trace-side view of where a workload's bytes actually moved. Kind
+// distinguishes the datapath (D2D near-memory, H2D over CXL.mem, D2H into
+// host memory); Device reports whether the line lives in the device
+// window.
+type TierTraffic struct {
+	Kind   Kind
+	Device bool
+	// Count is traced accesses; Bytes is Count × the line size (every
+	// traced event is one line transfer).
+	Count uint64
+	Bytes uint64
+}
+
+// Label names the (kind, region) pair as a tier-ish datapath.
+func (t TierTraffic) Label() string {
+	region := "host-mem"
+	if t.Device {
+		region = "dev-mem"
+	}
+	return fmt.Sprintf("%s:%s", t.Kind, region)
+}
+
+// SummarizeTiers aggregates events per (kind, device-region) pair in a
+// fixed presentation order (D2H, D2D, H2D; host before device). isDevice
+// classifies target addresses, typically mem.RegionDevice.Contains.
+func SummarizeTiers(events []Event, isDevice func(phys.Addr) bool) []TierTraffic {
+	agg := map[[2]int]*TierTraffic{}
+	for _, e := range events {
+		dev := isDevice(e.Addr)
+		k := [2]int{int(e.Kind), 0}
+		if dev {
+			k[1] = 1
+		}
+		t := agg[k]
+		if t == nil {
+			t = &TierTraffic{Kind: e.Kind, Device: dev}
+			agg[k] = t
+		}
+		t.Count++
+		t.Bytes += phys.LineSize
+	}
+	out := make([]TierTraffic, 0, len(agg))
+	for _, t := range agg {
+		out = append(out, *t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return !out[i].Device && out[j].Device
+	})
+	return out
+}
+
+// WriteTierSummary renders the aggregation as an aligned table.
+func WriteTierSummary(w io.Writer, rows []TierTraffic) {
+	fmt.Fprintf(w, "%-14s %10s %12s\n", "datapath", "lines", "bytes")
+	for _, t := range rows {
+		fmt.Fprintf(w, "%-14s %10d %12d\n", t.Label(), t.Count, t.Bytes)
+	}
+}

@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/phys"
+)
+
+func TestSummarizeTiers(t *testing.T) {
+	devBase := phys.Addr(1 << 40)
+	isDev := func(a phys.Addr) bool { return a >= devBase }
+	events := []Event{
+		{Kind: D2D, Addr: devBase, Op: "NC-rd"},
+		{Kind: D2D, Addr: devBase + 64, Op: "NC-rd"},
+		{Kind: H2D, Addr: devBase, Op: "ld"},
+		{Kind: D2H, Addr: 0x1000, Op: "CS-rd"},
+	}
+	rows := SummarizeTiers(events, isDev)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// Fixed order: D2H before D2D before H2D.
+	if rows[0].Kind != D2H || rows[0].Device || rows[0].Count != 1 {
+		t.Fatalf("row0 = %+v", rows[0])
+	}
+	if rows[1].Kind != D2D || !rows[1].Device || rows[1].Count != 2 || rows[1].Bytes != 128 {
+		t.Fatalf("row1 = %+v", rows[1])
+	}
+	if rows[2].Kind != H2D || !rows[2].Device {
+		t.Fatalf("row2 = %+v", rows[2])
+	}
+	if got := rows[1].Label(); got != "D2D:dev-mem" {
+		t.Fatalf("label = %q", got)
+	}
+
+	var sb strings.Builder
+	WriteTierSummary(&sb, rows)
+	out := sb.String()
+	for _, want := range []string{"datapath", "D2H:host-mem", "D2D:dev-mem", "128"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummarizeTiersEmpty(t *testing.T) {
+	if rows := SummarizeTiers(nil, func(phys.Addr) bool { return false }); len(rows) != 0 {
+		t.Fatalf("rows = %+v", rows)
+	}
+}

@@ -1,0 +1,150 @@
+package workload_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/ycsb"
+)
+
+// The expectations below are the exact sequences the pre-extraction
+// generators in internal/ycsb and internal/kvs produced for these seeds.
+// They pin the internal/workload refactor: a diff here means the shared
+// generators changed behaviour, which silently recalibrates every golden
+// file downstream (fig8, kvtier, the infer section).
+
+func ops(g *ycsb.Generator, n int) []ycsb.Op {
+	out := make([]ycsb.Op, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+func TestYCSBSequencesPinned(t *testing.T) {
+	const records, seed = 10000, 7
+	cases := []struct {
+		name string
+		w    ycsb.Workload
+		dist ycsb.Distribution
+		want []ycsb.Op
+	}{
+		{"A/uniform", ycsb.A, ycsb.Uniform, []ycsb.Op{
+			{Kind: ycsb.Read, Key: 1224}, {Kind: ycsb.Update, Key: 7379},
+			{Kind: ycsb.Read, Key: 7713}, {Kind: ycsb.Update, Key: 4482},
+			{Kind: ycsb.Update, Key: 6988}, {Kind: ycsb.Update, Key: 8182},
+			{Kind: ycsb.Update, Key: 3952}, {Kind: ycsb.Update, Key: 8097},
+		}},
+		{"B/zipfian", ycsb.B, ycsb.Zipfian, []ycsb.Op{
+			{Kind: ycsb.Read, Key: 4}, {Kind: ycsb.Read, Key: 4273},
+			{Kind: ycsb.Read, Key: 1}, {Kind: ycsb.Read, Key: 15},
+			{Kind: ycsb.Update, Key: 371}, {Kind: ycsb.Read, Key: 24},
+			{Kind: ycsb.Read, Key: 2326}, {Kind: ycsb.Read, Key: 2},
+		}},
+		{"C/zipfian", ycsb.C, ycsb.Zipfian, []ycsb.Op{
+			{Kind: ycsb.Read, Key: 4586}, {Kind: ycsb.Read, Key: 4},
+			{Kind: ycsb.Read, Key: 5}, {Kind: ycsb.Read, Key: 4273},
+			{Kind: ycsb.Read, Key: 533}, {Kind: ycsb.Read, Key: 1},
+			{Kind: ycsb.Read, Key: 16}, {Kind: ycsb.Read, Key: 15},
+		}},
+		{"D/latest", ycsb.D, ycsb.Latest, []ycsb.Op{
+			{Kind: ycsb.Read, Key: 9595}, {Kind: ycsb.Read, Key: 9244},
+			{Kind: ycsb.Read, Key: 9705}, {Kind: ycsb.Read, Key: 9490},
+			{Kind: ycsb.Insert, Key: 10000}, {Kind: ycsb.Read, Key: 8743},
+			{Kind: ycsb.Read, Key: 9643}, {Kind: ycsb.Read, Key: 9684},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := ops(ycsb.MustNewGenerator(tc.w, tc.dist, records, seed), len(tc.want))
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("sequence changed for seed %d:\n got  %v\n want %v", seed, got, tc.want)
+			}
+			// Identical across runs: a second generator with the same seed
+			// must replay the exact stream.
+			again := ops(ycsb.MustNewGenerator(tc.w, tc.dist, records, seed), len(tc.want))
+			if !reflect.DeepEqual(got, again) {
+				t.Fatalf("same seed diverged across runs:\n run1 %v\n run2 %v", got, again)
+			}
+		})
+	}
+}
+
+func TestPoissonGapsPinned(t *testing.T) {
+	// The exact gaps the kvs.LoadGen arrival loop drew before the
+	// extraction, for rng.New(9) at 60k ops/s.
+	want := []sim.Time{157111, 4008192, 9483739, 13166516, 1445083, 27559394, 8962607, 10484771}
+	p := workload.Poisson{RatePerSec: 60_000}
+	r := rng.New(9)
+	got := make([]sim.Time, len(want))
+	for i := range got {
+		got[i] = p.Gap(r)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("arrival gaps changed for seed 9:\n got  %v\n want %v", got, want)
+	}
+	r2 := rng.New(9)
+	for i, w := range got {
+		if g := p.Gap(r2); g != w {
+			t.Fatalf("gap %d diverged across runs: %v vs %v", i, g, w)
+		}
+	}
+}
+
+func TestPoissonGapFloor(t *testing.T) {
+	// An absurd rate forces sub-nanosecond draws; the floor keeps arrivals
+	// strictly advancing in simulated time.
+	p := workload.Poisson{RatePerSec: 1e18}
+	r := rng.New(1)
+	for i := 0; i < 100; i++ {
+		if g := p.Gap(r); g < sim.Nanosecond {
+			t.Fatalf("gap %d below floor: %v", i, g)
+		}
+	}
+}
+
+func TestZipfSkewAndBounds(t *testing.T) {
+	const n = 1000
+	z := workload.NewZipf(n, 0.99)
+	if z.N() != n {
+		t.Fatalf("N() = %d, want %d", z.N(), n)
+	}
+	r := rng.New(3)
+	low := 0
+	for i := 0; i < 10000; i++ {
+		k := z.Next(r)
+		if k > n {
+			t.Fatalf("rank %d out of range for n=%d", k, n)
+		}
+		if k < n/10 {
+			low++
+		}
+	}
+	// theta=0.99 concentrates most mass in the first decile (~69% here).
+	if low < 6000 {
+		t.Fatalf("zipf not skewed: only %d/10000 draws in first decile", low)
+	}
+}
+
+func TestLatestSkewAndBounds(t *testing.T) {
+	const records = 10000
+	r := rng.New(5)
+	recent := 0
+	for i := 0; i < 10000; i++ {
+		k := workload.Latest(r, records)
+		if k >= records {
+			t.Fatalf("key %d out of range", k)
+		}
+		if k >= records-records/10 {
+			recent++
+		}
+	}
+	// Exponential decay with mean records/20 keeps ~86% of draws within
+	// the newest decile.
+	if recent < 8000 {
+		t.Fatalf("latest not skewed: only %d/10000 draws in newest decile", recent)
+	}
+}

@@ -1,0 +1,99 @@
+// Package workload holds the request-stream primitives shared by the
+// simulated serving workloads: the YCSB/Gray zipfian key chooser and the
+// open-loop Poisson arrival process. internal/ycsb (key choice) and
+// internal/kvs (arrival scheduling) both delegated here when the two
+// copies were unified, and internal/infer draws its request arrivals and
+// prompt-length skew from the same primitives — so every workload's
+// randomness flows through internal/rng streams and one implementation.
+//
+// Determinism contract: for a fixed seed, each generator consumes its
+// *rand.Rand in a fixed call order and produces an identical sequence on
+// every run, architecture and GOMAXPROCS notwithstanding. The regression
+// test in this package pins the exact sequences the pre-extraction
+// implementations produced; changing them is a recalibration event.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Zipf is the YCSB/Gray zipfian generator over [0, n): heavily skewed
+// toward small ranks with the classic theta=0.99 YCSB default. It is
+// stateless between draws — callers own the *rand.Rand — so one Zipf can
+// serve several independent streams.
+type Zipf struct {
+	n               uint64
+	theta           float64
+	alpha, zetan    float64
+	eta, zeta2theta float64
+}
+
+// NewZipf precomputes the generator constants for n items at the given
+// theta (YCSB uses 0.99).
+func NewZipf(n uint64, theta float64) *Zipf {
+	z := &Zipf{n: n, theta: theta}
+	z.zeta2theta = zetaStatic(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.zetan = zetaStatic(n, theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2theta/z.zetan)
+	return z
+}
+
+func zetaStatic(n uint64, theta float64) float64 {
+	// Cap the sum for very large n: the tail contributes negligibly and the
+	// generators here use n <= a few million.
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next draws the next rank, consuming exactly one Float64 from rng.
+func (z *Zipf) Next(rng *rand.Rand) uint64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// N reports the item count the constants were computed for.
+func (z *Zipf) N() uint64 { return z.n }
+
+// Poisson is an open-loop Poisson arrival process: exponentially
+// distributed gaps at RatePerSec aggregate arrivals per simulated second,
+// floored at one nanosecond so a pathological draw cannot schedule two
+// arrivals at the same instant.
+type Poisson struct {
+	// RatePerSec is the aggregate arrival rate.
+	RatePerSec float64
+}
+
+// Gap draws the next inter-arrival gap, consuming exactly one ExpFloat64
+// from rng.
+func (p Poisson) Gap(rng *rand.Rand) sim.Time {
+	gap := sim.Time(rng.ExpFloat64() / p.RatePerSec * float64(sim.Second))
+	if gap < sim.Nanosecond {
+		gap = sim.Nanosecond
+	}
+	return gap
+}
+
+// Latest skews toward the most recently inserted of records items with
+// exponential decay (YCSB's "latest" chooser), consuming exactly one
+// ExpFloat64 from rng.
+func Latest(rng *rand.Rand, records uint64) uint64 {
+	back := uint64(rng.ExpFloat64() * float64(records) / 20)
+	if back >= records {
+		back = records - 1
+	}
+	return records - 1 - back
+}

@@ -6,10 +6,10 @@ package ycsb
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 
 	"repro/internal/rng"
+	"repro/internal/workload"
 )
 
 // Workload identifies a YCSB core workload.
@@ -84,7 +84,7 @@ type Generator struct {
 	dist    Distribution
 	rng     *rand.Rand
 	records uint64
-	zipf    *zipfGen
+	zipf    *workload.Zipf
 }
 
 // NewGenerator builds a generator over an initial record count.
@@ -97,7 +97,7 @@ func NewGenerator(w Workload, dist Distribution, records uint64, seed int64) (*G
 	}
 	g := &Generator{w: w, dist: dist, rng: rng.New(seed), records: records}
 	if dist == Zipfian {
-		g.zipf = newZipf(records, 0.99)
+		g.zipf = workload.NewZipf(records, 0.99)
 	}
 	return g, nil
 }
@@ -142,7 +142,7 @@ func (g *Generator) key() uint64 {
 	case Uniform:
 		return uint64(g.rng.Int63n(int64(g.records)))
 	case Zipfian:
-		return g.zipf.next(g.rng) % g.records
+		return g.zipf.Next(g.rng) % g.records
 	case Latest:
 		return g.latestKey()
 	default:
@@ -152,51 +152,7 @@ func (g *Generator) key() uint64 {
 
 // latestKey skews toward the most recently inserted records.
 func (g *Generator) latestKey() uint64 {
-	// Exponential decay from the newest record.
-	back := uint64(g.rng.ExpFloat64() * float64(g.records) / 20)
-	if back >= g.records {
-		back = g.records - 1
-	}
-	return g.records - 1 - back
-}
-
-// zipfGen is the YCSB/Gray zipfian generator over [0, n).
-type zipfGen struct {
-	n               uint64
-	theta           float64
-	alpha, zetan    float64
-	eta, zeta2theta float64
-}
-
-func newZipf(n uint64, theta float64) *zipfGen {
-	z := &zipfGen{n: n, theta: theta}
-	z.zeta2theta = zetaStatic(2, theta)
-	z.alpha = 1 / (1 - theta)
-	z.zetan = zetaStatic(n, theta)
-	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2theta/z.zetan)
-	return z
-}
-
-func zetaStatic(n uint64, theta float64) float64 {
-	// Cap the sum for very large n: the tail contributes negligibly and the
-	// generators here use n <= a few million.
-	sum := 0.0
-	for i := uint64(1); i <= n; i++ {
-		sum += 1 / math.Pow(float64(i), theta)
-	}
-	return sum
-}
-
-func (z *zipfGen) next(rng *rand.Rand) uint64 {
-	u := rng.Float64()
-	uz := u * z.zetan
-	if uz < 1 {
-		return 0
-	}
-	if uz < 1+math.Pow(0.5, z.theta) {
-		return 1
-	}
-	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	return workload.Latest(g.rng, g.records)
 }
 
 // Mix reports the nominal read/update/insert fractions of a workload, for
