@@ -12,7 +12,7 @@
 // Usage:
 //
 //	cxlbench [-reps N] [-parallel N | -serial] [-seed S]
-//	         [-bench-json PATH] [fig3|fig4|fig5|fig6|table3|wqsweep|infer|all]
+//	         [-bench-json PATH] [fig3|fig4|fig5|fig6|table3|wqsweep|infer|workload|all]
 package main
 
 import (
@@ -41,10 +41,12 @@ func run() int {
 	benchJSON := flag.String("bench-json", "", "write per-job timing stats as JSON to this path")
 	dump := flag.String("dump-params", "", "write the calibrated timing parameters as JSON to this path and exit")
 	csv := flag.Bool("csv", false, "emit fig6 as CSV (plot-friendly) instead of a table")
+	recordTrace := flag.String("record-trace", "", "write the infer section's request stream as a binary trace to this path and exit")
+	replayTrace := flag.String("replay-trace", "", "replay a recorded trace through the infer section instead of generating the stream")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this path (go tool pprof)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cxlbench [-reps N] [-parallel N | -serial] [-seed S] [fig3|fig4|fig5|fig6|table3|wqsweep|infer|all]\n")
+		fmt.Fprintf(os.Stderr, "usage: cxlbench [-reps N] [-parallel N | -serial] [-seed S] [fig3|fig4|fig5|fig6|table3|wqsweep|infer|workload|all]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -101,6 +103,21 @@ func run() int {
 	if flag.NArg() > 0 {
 		which = flag.Arg(0)
 	}
+
+	if *recordTrace != "" {
+		// Record the exact stream the infer section would serve under this
+		// seed; replaying it (-replay-trace) reproduces the section byte
+		// for byte.
+		t := cxl2sim.RecordInferTrace(*seed, cxl2sim.InferConfig{Reps: *reps})
+		if err := os.WriteFile(*recordTrace, t.Encode(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "cxlbench:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "cxlbench: recorded %d requests to %s (hash %016x)\n",
+			len(t.Requests), *recordTrace, t.Hash())
+		return 0
+	}
+
 	secs := cxl2sim.ExperimentSections(*reps)
 	if which != "all" {
 		sec, ok := cxl2sim.ExperimentSectionByName(secs, which)
@@ -109,6 +126,24 @@ func run() int {
 			return 2
 		}
 		secs = []cxl2sim.ExperimentSection{sec}
+	}
+
+	if *replayTrace != "" {
+		if which != "infer" {
+			fmt.Fprintln(os.Stderr, "cxlbench: -replay-trace applies to the infer section (pass `infer`)")
+			return 2
+		}
+		raw, rerr := os.ReadFile(*replayTrace)
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, "cxlbench:", rerr)
+			return 1
+		}
+		t, derr := cxl2sim.DecodeWorkloadTrace(raw)
+		if derr != nil {
+			fmt.Fprintln(os.Stderr, "cxlbench:", derr)
+			return 1
+		}
+		secs = []cxl2sim.ExperimentSection{cxl2sim.InferSectionTrace(*reps, t)}
 	}
 
 	var results []cxl2sim.JobResult

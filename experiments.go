@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"repro/internal/experiments"
+	"repro/internal/workload"
 	"repro/internal/ycsb"
 )
 
@@ -139,3 +140,48 @@ func PrintWriteQueueSweep(w io.Writer, rows []WriteQueueRow) {
 
 // Workloads lists the YCSB core workloads A–D.
 func Workloads() []Workload { return ycsb.Workloads() }
+
+// WorkloadTrace is a recorded request stream in the versioned binary trace
+// format: freeze any synthetic or captured stream once, replay it
+// bit-for-bit across policies, worker counts and binary versions.
+type WorkloadTrace = workload.Trace
+
+// DecodeWorkloadTrace parses an encoded trace, validating version and
+// length fields.
+func DecodeWorkloadTrace(data []byte) (*WorkloadTrace, error) {
+	return workload.DecodeTrace(data)
+}
+
+// RecordInferTrace records the request stream the infer section serves
+// under rootSeed and cfg — feed the result back through InferConfig.Trace
+// (or InferSectionTrace) to reproduce the runs exactly.
+func RecordInferTrace(rootSeed int64, cfg InferConfig) *WorkloadTrace {
+	return experiments.InferTrace(rootSeed, cfg)
+}
+
+// InferSectionTrace builds the infer experiment section replaying t
+// through every placement scenario.
+func InferSectionTrace(reps int, t *WorkloadTrace) ExperimentSection {
+	return experiments.InferSection(experiments.InferConfig{Reps: reps, Trace: t})
+}
+
+// SectionTraceKey is the canonical result-cache key for a section run that
+// replays a trace: the trace's content hash joins the key so distinct
+// streams never share a cache entry.
+func SectionTraceKey(name string, reps int, seed int64, format string, t *WorkloadTrace) string {
+	return experiments.SectionKeyTrace(name, reps, seed, format, t.Hash())
+}
+
+// WorkloadRow is one row of the workload traffic-library section: a
+// temporal arrival model's realized stream (recorded vs replayed) or a
+// client cohort's realized share and shape.
+type WorkloadRow = experiments.WorkloadRow
+
+// WorkloadConfig tunes the workload section.
+type WorkloadConfig = experiments.WorkloadConfig
+
+// RunWorkload runs the traffic-library characterization section.
+func RunWorkload(cfg WorkloadConfig) []WorkloadRow { return experiments.Workload(cfg) }
+
+// PrintWorkload renders the workload rows.
+func PrintWorkload(w io.Writer, rows []WorkloadRow) { experiments.PrintWorkload(w, rows) }

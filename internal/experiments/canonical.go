@@ -16,6 +16,15 @@ func SectionKey(name string, reps int, seed int64, format string) string {
 	return fmt.Sprintf("v1/section|%s|reps=%d|seed=%d|format=%s", name, reps, seed, format)
 }
 
+// SectionKeyTrace is SectionKey for a run that replays a recorded trace:
+// the trace's content hash joins the key because the rendered bytes now
+// depend on the replayed stream, and two different traces must never share
+// a cache entry. The hash is of the canonical encoding, so it identifies
+// the stream itself, not the upload that carried it.
+func SectionKeyTrace(name string, reps int, seed int64, format string, traceHash uint64) string {
+	return fmt.Sprintf("%s|trace=%016x", SectionKey(name, reps, seed, format), traceHash)
+}
+
 // ReportKey is the canonical cache key for the full paper-vs-measured
 // comparison report.
 func ReportKey(reps int, full bool, seed int64) string {

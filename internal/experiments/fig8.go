@@ -18,6 +18,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/timing"
+	"repro/internal/workload"
 	"repro/internal/ycsb"
 	"repro/internal/zswap"
 )
@@ -81,6 +82,42 @@ type Fig8Config struct {
 	// KswapdBatch overrides kswapd's scheduling quantum in pages (0 takes
 	// the calibrated default of 8) — the cond_resched-granularity ablation.
 	KswapdBatch int
+	// Temporal replaces the stationary drivers with the traffic library's
+	// temporal models: request arrivals follow a rate curve oscillating
+	// around RatePerSec with burst overlays, the zswap antagonist's churn
+	// bursts arrive episodically, and ksmd's inter-batch sleeps are drawn
+	// rather than fixed. Off by default — the calibrated stationary runs
+	// stay bit-identical.
+	Temporal bool
+}
+
+// fig8ArrivalSource builds the temporal request stream for one run: a
+// four-phase curve oscillating around rate (period 100 ms, several cycles
+// inside the 300 ms horizon) with thundering-herd bursts layered on top.
+func fig8ArrivalSource(rate float64) workload.ArrivalSource {
+	curve := workload.MustNewRateCurve(100*sim.Millisecond,
+		workload.RatePoint{At: 0, RatePerSec: 0.5 * rate},
+		workload.RatePoint{At: 25 * sim.Millisecond, RatePerSec: 1.5 * rate},
+		workload.RatePoint{At: 50 * sim.Millisecond, RatePerSec: 0.75 * rate},
+		workload.RatePoint{At: 75 * sim.Millisecond, RatePerSec: 1.25 * rate},
+	)
+	return workload.NewTemporal(curve).WithBursts(workload.BurstSpec{
+		MeanGap:    40 * sim.Millisecond,
+		MeanLen:    3 * sim.Millisecond,
+		Factor:     3,
+		Cooldown:   5 * sim.Millisecond,
+		CoolFactor: 0.5,
+	})
+}
+
+// fig8LoadGen builds the run's load generator: stationary Poisson, or the
+// temporal source when cfg.Temporal is set.
+func fig8LoadGen(eng *sim.Engine, servers []*kvs.Server, gen *ycsb.Generator, cfg Fig8Config) *kvs.LoadGen {
+	if cfg.Temporal {
+		return kvs.NewLoadGenArrivals(eng, servers, gen,
+			fig8ArrivalSource(cfg.RatePerSec), cfg.Seed+seedOffFig8LoadGen)
+	}
+	return kvs.NewLoadGen(eng, servers, gen, cfg.RatePerSec, cfg.Seed+seedOffFig8LoadGen)
 }
 
 func (c Fig8Config) dist() ycsb.Distribution {
@@ -190,6 +227,18 @@ func Fig8ZswapDiag(v Fig8Variant, w ycsb.Workload, cfg Fig8Config) (Fig8Row, Fig
 		ant.PagesPerBurst = 8
 		ant.Interval = 500 * sim.Microsecond
 		ant.Keep = 1800 // a large cold tail: reclaim victims are mostly the antagonist's
+		if cfg.Temporal {
+			// Episodic churn: bursts of allocation pressure instead of the
+			// steady 2 kHz drumbeat, so reclaim comes in wavefronts.
+			ant.Gaps = workload.NewTemporal(workload.FlatRate(2000)).
+				WithBursts(workload.BurstSpec{
+					MeanGap:    20 * sim.Millisecond,
+					MeanLen:    4 * sim.Millisecond,
+					Factor:     4,
+					Cooldown:   8 * sim.Millisecond,
+					CoolFactor: 0.25,
+				})
+		}
 	}
 
 	pollution := func() uint64 { return 0 }
@@ -220,7 +269,7 @@ func Fig8ZswapDiag(v Fig8Variant, w ycsb.Workload, cfg Fig8Config) (Fig8Row, Fig
 	}
 
 	gen := ycsb.MustNewGenerator(w, cfg.dist(), uint64(scfg.Records), cfg.Seed)
-	lg := kvs.NewLoadGen(eng, servers, gen, cfg.RatePerSec, cfg.Seed+seedOffFig8LoadGen)
+	lg := fig8LoadGen(eng, servers, gen, cfg)
 	lg.Start()
 	// Requests complete synchronously within their arrival event, so the
 	// horizon is exact; the daemons (kswapd, antagonist) would reschedule
@@ -375,6 +424,13 @@ func Fig8KsmDiag(v Fig8Variant, w ycsb.Workload, cfg Fig8Config) (Fig8Row, Fig8D
 		daemon.FloatCores = []*sim.Resource{
 			h.Core(0).Sched, h.Core(1).Sched, h.Core(2).Sched, h.Core(3).Sched,
 		}
+		if cfg.Temporal {
+			// Drawn inter-batch sleeps around the tuned 2.2 ms cadence: a
+			// ksmd whose pacing jitters instead of metronoming.
+			daemon.SetSleepSource(
+				workload.NewTemporal(workload.FlatRate(1/0.0022)),
+				cfg.Seed+seedOffFig8KsmSleep)
+		}
 		daemon.Start()
 	}
 
@@ -392,7 +448,7 @@ func Fig8KsmDiag(v Fig8Variant, w ycsb.Workload, cfg Fig8Config) (Fig8Row, Fig8D
 	churn.Schedule(churnStep)
 
 	gen := ycsb.MustNewGenerator(w, cfg.dist(), uint64(scfg.Records), cfg.Seed)
-	lg := kvs.NewLoadGen(eng, servers, gen, cfg.RatePerSec, cfg.Seed+seedOffFig8LoadGen)
+	lg := fig8LoadGen(eng, servers, gen, cfg)
 	lg.Start()
 	eng.RunUntil(cfg.Duration)
 	lg.Stop()

@@ -5,7 +5,9 @@ import (
 	"io"
 
 	"repro/internal/infer"
+	"repro/internal/rng"
 	"repro/internal/runner"
+	"repro/internal/workload"
 )
 
 // The infer section answers the paper's Type-2 question for the workload
@@ -23,6 +25,12 @@ type InferConfig struct {
 	Reps int
 	// Seed overrides the workload seed; 0 uses the job's derived seed.
 	Seed int64
+	// Trace, when set, replays the recorded request stream through every
+	// scenario instead of generating one from the seed — the record/replay
+	// path. Reps and Seed stop affecting the stream (they are recorded in
+	// the trace), so two runs over the same trace serve identical requests
+	// even across binary versions.
+	Trace *workload.Trace
 }
 
 func (c InferConfig) requests() int {
@@ -81,10 +89,11 @@ type InferRow struct {
 }
 
 // inferRow runs one scenario to completion.
-func inferRow(sc InferScenario, requests int, seed int64) InferRow {
+func inferRow(sc InferScenario, requests int, seed int64, trace *workload.Trace) InferRow {
 	m := infer.Run(infer.Config{
 		Seed:       seed,
 		Requests:   requests,
+		Trace:      trace,
 		Far:        sc.Far,
 		Policy:     sc.Policy,
 		DRAMBlocks: sc.DRAMBlocks,
@@ -122,10 +131,35 @@ func InferJobs(cfg InferConfig) []runner.Job {
 		}
 		var rows []InferRow
 		for _, sc := range InferScenarios() {
-			rows = append(rows, inferRow(sc, requests, seed))
+			rows = append(rows, inferRow(sc, requests, seed, cfg.Trace))
 		}
 		return rows
 	})}
+}
+
+// InferTrace records the request stream the infer section would serve
+// under rootSeed and cfg — the record half of the section's record/replay:
+// running the section with the returned trace in InferConfig.Trace (same
+// rootSeed irrelevant) reproduces the exact same serving runs.
+func InferTrace(rootSeed int64, cfg InferConfig) *workload.Trace {
+	seed := cfg.Seed
+	if seed == 0 {
+		// The section is one job with ID "infer"; mirror the runner's
+		// seed derivation (including its zero-means-default root seed) so
+		// the recorded stream matches a live run.
+		if rootSeed == 0 {
+			rootSeed = runner.DefaultRootSeed
+		}
+		seed = rng.DeriveSeed(rootSeed, "infer")
+	}
+	return infer.GenTrace(infer.Config{Seed: seed, Requests: cfg.requests()})
+}
+
+// InferSection builds the infer section for cfg. Sections() registers the
+// default configuration; this entry point exists for trace replay, where
+// the caller substitutes a recorded stream for the generated one.
+func InferSection(cfg InferConfig) Section {
+	return section("infer", InferJobs(cfg), PrintInfer)
 }
 
 // Infer runs the section serially.

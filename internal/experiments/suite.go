@@ -95,6 +95,7 @@ func Sections(reps int) []Section {
 		section("fig6", Fig6Jobs(), PrintFig6),
 		section("wqsweep", WriteQueueSweepJobs(nil), PrintWriteQueueSweep),
 		section("infer", InferJobs(InferConfig{Reps: reps}), PrintInfer),
+		section("workload", WorkloadJobs(WorkloadConfig{Reps: reps}), PrintWorkload),
 	}
 }
 

@@ -27,6 +27,7 @@ package infer
 
 import (
 	"fmt"
+	"math/rand"
 
 	"repro/internal/cxl"
 	"repro/internal/device"
@@ -126,6 +127,20 @@ type Config struct {
 	DecodeMin, DecodeMax int
 	// MaxBatch bounds the continuous batch size.
 	MaxBatch int
+	// Arrivals optionally replaces the stationary Poisson process (e.g. a
+	// workload.Temporal diurnal/burst source). Nil keeps Poisson at
+	// RatePerSec — the legacy stream, bit-for-bit.
+	Arrivals workload.ArrivalSource
+	// Cohorts optionally draws each request's prompt/decode shape from a
+	// weighted client-cohort mix instead of the global Prompt*/Decode*
+	// bounds. Nil keeps the single-population legacy draw.
+	Cohorts *workload.Mix
+	// Trace, when set, replays a recorded request stream verbatim:
+	// arrivals and shapes come from the trace records and the generator
+	// knobs above (Seed's arrival/shape streams, Requests, RatePerSec,
+	// Arrivals, Cohorts) are ignored. Every request must still fit the
+	// configured pools; Run panics on a trace it cannot serve.
+	Trace *workload.Trace
 	// BlockTokens is the paged-KV block granule in tokens.
 	BlockTokens int
 	// BytesPerToken is the KV footprint of one token.
@@ -216,6 +231,7 @@ type Metrics struct {
 type request struct {
 	arrival        sim.Time
 	prompt, decode int
+	cohort         uint8
 	blocks         []*block
 	tokensInLast   int
 	generated      int
@@ -279,27 +295,125 @@ func Run(cfg Config) Metrics {
 	return s.m
 }
 
-// genRequests draws the request stream: Poisson arrivals, zipfian-skewed
-// prompt and decode lengths (most requests short, a heavy tail long).
+// genRequests draws the request stream: open-loop arrivals (Poisson or a
+// temporal source), zipfian-skewed prompt and decode lengths (most
+// requests short, a heavy tail long), optionally per client cohort — or a
+// trace replayed verbatim.
 func (s *Sim) genRequests() []*request {
 	cfg := s.cfg
+	if cfg.Trace != nil {
+		return s.requestsFromTrace(cfg.Trace)
+	}
 	arrRng := rng.Derive(cfg.Seed, "infer/arrivals")
 	shapeRng := rng.Derive(cfg.Seed, "infer/shape")
-	arrivals := workload.Poisson{RatePerSec: cfg.RatePerSec}
-	pZipf := workload.NewZipf(uint64(cfg.PromptMax-cfg.PromptMin+1), 0.99)
-	dZipf := workload.NewZipf(uint64(cfg.DecodeMax-cfg.DecodeMin+1), 0.99)
+	arrivals := cfg.Arrivals
+	if arrivals == nil {
+		arrivals = workload.Poisson{RatePerSec: cfg.RatePerSec}
+	}
+	shape := newShapeSampler(cfg)
 	reqs := make([]*request, cfg.Requests)
 	now := sim.Time(0)
 	for i := range reqs {
-		now += arrivals.Gap(arrRng)
-		reqs[i] = &request{
-			arrival: now,
-			prompt:  cfg.PromptMin + int(pZipf.Next(shapeRng)%uint64(cfg.PromptMax-cfg.PromptMin+1)),
-			decode:  cfg.DecodeMin + int(dZipf.Next(shapeRng)%uint64(cfg.DecodeMax-cfg.DecodeMin+1)),
-		}
+		now += arrivals.GapAt(arrRng, now)
+		cohort, prompt, decode := shape.sample(shapeRng)
+		reqs[i] = &request{arrival: now, cohort: cohort, prompt: prompt, decode: decode}
 	}
 	return reqs
 }
+
+// shapeSampler draws request shapes: one zipf pair over the global bounds
+// (the legacy single-population stream, preserved draw for draw), or one
+// pair per cohort with the cohort picked first.
+type shapeSampler struct {
+	mix     *workload.Mix
+	cohorts []cohortShape
+}
+
+type cohortShape struct {
+	pZipf, dZipf         *workload.Zipf
+	promptMin, decodeMin int
+}
+
+func newShapeSampler(cfg Config) *shapeSampler {
+	s := &shapeSampler{mix: cfg.Cohorts}
+	mk := func(pMin, pMax, dMin, dMax int) cohortShape {
+		return cohortShape{
+			pZipf:     workload.NewZipf(uint64(pMax-pMin+1), 0.99),
+			dZipf:     workload.NewZipf(uint64(dMax-dMin+1), 0.99),
+			promptMin: pMin, decodeMin: dMin,
+		}
+	}
+	if s.mix == nil {
+		s.cohorts = []cohortShape{mk(cfg.PromptMin, cfg.PromptMax, cfg.DecodeMin, cfg.DecodeMax)}
+		return s
+	}
+	for i := 0; i < s.mix.Len(); i++ {
+		c := s.mix.Cohort(i)
+		s.cohorts = append(s.cohorts, mk(c.PromptMin, c.PromptMax, c.DecodeMin, c.DecodeMax))
+	}
+	return s
+}
+
+func (s *shapeSampler) sample(rng2 *rand.Rand) (cohort uint8, prompt, decode int) {
+	i := 0
+	if s.mix != nil {
+		i = s.mix.Pick(rng2)
+	}
+	c := s.cohorts[i]
+	prompt = c.promptMin + int(c.pZipf.Next(rng2)%uint64(c.pZipf.N()))
+	decode = c.decodeMin + int(c.dZipf.Next(rng2)%uint64(c.dZipf.N()))
+	return uint8(i), prompt, decode
+}
+
+// requestsFromTrace rebuilds the request stream from a recorded trace,
+// panicking on records the configured platform cannot serve (a trace is a
+// contract: silently clamping it would break bit-for-bit replay).
+func (s *Sim) requestsFromTrace(t *workload.Trace) []*request {
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	maxBlocks := s.cfg.DRAMBlocks + s.cfg.FarBlocks
+	reqs := make([]*request, len(t.Requests))
+	for i, rec := range t.Requests {
+		if rec.Prompt == 0 || rec.Decode == 0 {
+			panic(fmt.Sprintf("infer: trace record %d has empty prompt/decode", i))
+		}
+		r := &request{
+			arrival: rec.At,
+			cohort:  rec.Cohort,
+			prompt:  int(rec.Prompt),
+			decode:  int(rec.Decode),
+		}
+		if s.blocksFor(r.prompt+r.decode) > maxBlocks {
+			panic(fmt.Sprintf("infer: trace record %d needs %d KV blocks, pools hold %d",
+				i, s.blocksFor(r.prompt+r.decode), maxBlocks))
+		}
+		reqs[i] = r
+	}
+	return reqs
+}
+
+// GenTrace records the exact request stream Run(cfg) would generate — the
+// record side of record/replay. Replaying the result through Config.Trace
+// (same platform knobs) reproduces the serving simulation bit for bit.
+func GenTrace(cfg Config) *workload.Trace {
+	cfg = cfg.withDefaults()
+	s := &Sim{cfg: cfg} // genRequests touches only cfg; no platform needed
+	reqs := s.genRequests()
+	t := &Trace{Workload: "infer", Seed: cfg.Seed, Requests: make([]workload.Request, len(reqs))}
+	for i, r := range reqs {
+		t.Requests[i] = workload.Request{
+			At:     r.arrival,
+			Cohort: r.cohort,
+			Prompt: uint32(r.prompt),
+			Decode: uint32(r.decode),
+		}
+	}
+	return t
+}
+
+// Trace aliases the workload trace type for infer callers.
+type Trace = workload.Trace
 
 // serve runs the continuous-batching loop: admit arrivals while capacity
 // lasts, prefill new sequences, then decode one token per running

@@ -1,7 +1,11 @@
 package ksm
 
 import (
+	"math/rand"
+
+	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // Daemon is ksmd: the periodic incremental scanner thread. Every wake it
@@ -20,6 +24,11 @@ type Daemon struct {
 	// these cores at batch boundaries — ksmd is not pinned, so over a run
 	// it disturbs every application core (§VII).
 	FloatCores []*sim.Resource
+
+	// sleepSrc, when set via SetSleepSource, replaces the fixed
+	// SleepBetween with drawn inter-batch gaps.
+	sleepSrc workload.ArrivalSource
+	sleepRng *rand.Rand
 
 	running bool
 	stopped bool
@@ -44,6 +53,15 @@ func NewDaemon(eng *sim.Engine, scanner *Scanner, core *sim.Resource) *Daemon {
 	}
 	d.stepFn = d.step
 	return d
+}
+
+// SetSleepSource replaces the fixed SleepBetween pacing with inter-batch
+// gaps drawn from src (e.g. a workload.Temporal curve modelling a tuned
+// ksmd that backs off under load). The draws consume a dedicated seeded
+// stream, so the daemon's pacing replays deterministically.
+func (d *Daemon) SetSleepSource(src workload.ArrivalSource, seed int64) {
+	d.sleepSrc = src
+	d.sleepRng = rng.New(seed)
 }
 
 // Proc exposes the daemon's process.
@@ -85,7 +103,11 @@ func (d *Daemon) step(p *sim.Proc) {
 		inBatch++
 		if inBatch >= d.PagesPerBatch {
 			d.batches++
-			p.Sleep(d.SleepBetween)
+			sleep := d.SleepBetween
+			if d.sleepSrc != nil {
+				sleep = d.sleepSrc.GapAt(d.sleepRng, d.eng.Now())
+			}
+			p.Sleep(sleep)
 			inBatch = 0
 			if len(d.FloatCores) > 0 {
 				d.coreIdx = (d.coreIdx + 1) % len(d.FloatCores)

@@ -12,40 +12,80 @@ import (
 	"repro/internal/ycsb"
 )
 
-// LoadGen drives a set of servers with an open-loop Poisson request stream
-// — the YCSB-client side of §VII. Arrivals are scheduled on the engine so
-// request handling interleaves with kswapd/ksmd activity in simulated time.
+// LoadGen drives a set of servers with an open-loop request stream — the
+// YCSB-client side of §VII. Arrivals come from a workload.ArrivalSource
+// (stationary Poisson by default, or a diurnal/bursty Temporal source) or
+// replay a recorded workload.Trace verbatim; either way they are scheduled
+// on the engine so request handling interleaves with kswapd/ksmd activity
+// in simulated time.
 type LoadGen struct {
 	eng      *sim.Engine
 	servers  []*Server
 	gen      *ycsb.Generator
 	rng      *rand.Rand
-	arrivals workload.Poisson
-	next     int
-	stopped  bool
+	arrivals workload.ArrivalSource
+	rate     float64
+	// replay holds the trace records when the generator replays instead of
+	// drawing; base anchors record time zero at Start's engine time.
+	replay    []workload.Request
+	replayIdx int
+	base      sim.Time
+	next      int
+	stopped   bool
 }
 
 // NewLoadGen builds a Poisson load generator at ratePerSec aggregate ops/s.
 func NewLoadGen(eng *sim.Engine, servers []*Server, gen *ycsb.Generator, ratePerSec float64, seed int64) *LoadGen {
-	if len(servers) == 0 || ratePerSec <= 0 {
-		panic("kvs: servers and positive rate required")
+	if ratePerSec <= 0 {
+		panic("kvs: positive rate required")
+	}
+	l := NewLoadGenArrivals(eng, servers, gen, workload.Poisson{RatePerSec: ratePerSec}, seed)
+	l.rate = ratePerSec
+	return l
+}
+
+// NewLoadGenArrivals builds a load generator drawing gaps from src — the
+// temporal-model entry point (diurnal curves, burst modulation).
+func NewLoadGenArrivals(eng *sim.Engine, servers []*Server, gen *ycsb.Generator, src workload.ArrivalSource, seed int64) *LoadGen {
+	if len(servers) == 0 {
+		panic("kvs: servers required")
+	}
+	if src == nil {
+		panic("kvs: arrival source required")
 	}
 	return &LoadGen{
 		eng:      eng,
 		servers:  servers,
 		gen:      gen,
 		rng:      rng.New(seed),
-		arrivals: workload.Poisson{RatePerSec: ratePerSec},
+		arrivals: src,
 	}
 }
 
-// RatePerSec reports the aggregate arrival rate across all servers.
-func (l *LoadGen) RatePerSec() float64 { return l.arrivals.RatePerSec }
+// NewLoadGenTrace builds a load generator that replays a recorded trace:
+// each record's op (Kind, Key) fires at Start time + record At, so the
+// same stream re-runs bit-for-bit regardless of the policies under test.
+func NewLoadGenTrace(eng *sim.Engine, servers []*Server, t *workload.Trace) *LoadGen {
+	if len(servers) == 0 {
+		panic("kvs: servers required")
+	}
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	return &LoadGen{eng: eng, servers: servers, replay: t.Requests}
+}
+
+// RatePerSec reports the configured aggregate arrival rate (0 for custom
+// sources and trace replay, which have no single stationary rate).
+func (l *LoadGen) RatePerSec() float64 { return l.rate }
 
 // Start schedules the arrival process beginning at the engine's current
-// time; it continues until Stop or the horizon passed to RunFor.
+// time; it continues until Stop, the horizon passed to RunFor, or (in
+// replay mode) the end of the trace.
 func (l *LoadGen) Start() {
 	l.stopped = false
+	l.base = l.eng.Now()
+	l.replayIdx = 0
 	l.scheduleNext(l.eng.Now())
 }
 
@@ -53,11 +93,25 @@ func (l *LoadGen) Start() {
 func (l *LoadGen) Stop() { l.stopped = true }
 
 func (l *LoadGen) scheduleNext(now sim.Time) {
-	gap := l.arrivals.Gap(l.rng)
+	var at sim.Time
+	if l.replay != nil {
+		if l.replayIdx >= len(l.replay) {
+			return
+		}
+		at = l.base + l.replay[l.replayIdx].At
+		if at < now {
+			at = now
+		}
+	} else {
+		at = now + l.arrivals.GapAt(l.rng, now-l.base)
+		if at < now { // GapAt returned Forever and saturated
+			at = sim.Forever
+		}
+	}
 	// Arrivals are the densest event stream in the §VII runs; carrying the
 	// generator through AtCall keeps the steady state allocation-free where
 	// a closure here would allocate per request.
-	l.eng.AtCall(now+gap, loadGenArrive, l)
+	l.eng.AtCall(at, loadGenArrive, l)
 }
 
 func loadGenArrive(arg any) {
@@ -65,11 +119,38 @@ func loadGenArrive(arg any) {
 	if l.stopped {
 		return
 	}
-	op := l.gen.Next()
+	var op ycsb.Op
+	if l.replay != nil {
+		rec := l.replay[l.replayIdx]
+		l.replayIdx++
+		op = ycsb.Op{Kind: ycsb.OpKind(rec.Kind), Key: rec.Key}
+	} else {
+		op = l.gen.Next()
+	}
 	s := l.servers[l.next%len(l.servers)]
 	l.next++
 	s.Serve(op, l.eng.Now())
 	l.scheduleNext(l.eng.Now())
+}
+
+// RecordYCSB records the request stream a live generator would produce: n
+// ops with gaps drawn from src, exactly the draw order the live path uses
+// (gap first, then op), so a recorded trace replays the identical stream.
+func RecordYCSB(gen *ycsb.Generator, src workload.ArrivalSource, seed int64, n int, label string) *workload.Trace {
+	r := rng.New(seed)
+	t := &workload.Trace{Workload: label, Seed: seed, Requests: make([]workload.Request, n)}
+	now := sim.Time(0)
+	for i := 0; i < n; i++ {
+		gap := src.GapAt(r, now)
+		if now > sim.Forever-gap {
+			now = sim.Forever
+		} else {
+			now += gap
+		}
+		op := gen.Next()
+		t.Requests[i] = workload.Request{At: now, Key: op.Key, Kind: uint8(op.Kind)}
+	}
+	return t
 }
 
 // Antagonist is the memory-churning co-runner of the zswap experiment: it
@@ -84,6 +165,10 @@ type Antagonist struct {
 	// PagesPerBurst allocations happen every Interval.
 	PagesPerBurst int
 	Interval      sim.Time
+	// Gaps, when set, replaces the fixed Interval with drawn inter-burst
+	// gaps (e.g. a bursty workload.Temporal source), turning the steady
+	// churner into an episodic memory-pressure driver.
+	Gaps workload.ArrivalSource
 	// Keep bounds the working set: older pages are unmapped beyond it.
 	Keep int
 
@@ -141,6 +226,10 @@ func (a *Antagonist) step(p *sim.Proc) {
 			a.as.Unmap(a.nextVPN - uint64(a.Keep) - 1)
 		}
 	}
-	p.Sleep(a.Interval)
+	d := a.Interval
+	if a.Gaps != nil {
+		d = a.Gaps.GapAt(a.rng, a.eng.Now())
+	}
+	p.Sleep(d)
 	p.Schedule(a.stepFn)
 }

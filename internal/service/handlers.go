@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -187,6 +188,11 @@ type sectionRequest struct {
 	// Format selects "text" (the cxlbench rendering, default) or "json"
 	// (the section's typed rows).
 	Format string `json:"format"`
+	// Trace is a base64-encoded workload trace (the versioned binary
+	// format) to replay instead of generating the request stream. Only the
+	// "infer" section supports replay; the trace's content hash joins the
+	// cache key, so distinct streams never alias.
+	Trace string `json:"trace"`
 }
 
 func (s *Server) handleSectionRun(w http.ResponseWriter, r *http.Request) {
@@ -220,6 +226,34 @@ func (s *Server) handleSectionRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := experiments.SectionKey(name, req.Reps, req.Seed, req.Format)
+	if req.Trace != "" {
+		if name != "infer" {
+			writeError(w, http.StatusBadRequest, "section %q does not support trace replay (only \"infer\")", name)
+			return
+		}
+		raw, err := base64.StdEncoding.DecodeString(req.Trace)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "trace is not valid base64: %v", err)
+			return
+		}
+		t, err := cxl2sim.DecodeWorkloadTrace(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if err := t.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		for i, rec := range t.Requests {
+			if rec.Prompt == 0 || rec.Decode == 0 {
+				writeError(w, http.StatusBadRequest, "trace record %d has empty prompt/decode", i)
+				return
+			}
+		}
+		sec = cxl2sim.InferSectionTrace(req.Reps, t)
+		key = cxl2sim.SectionTraceKey(name, req.Reps, req.Seed, req.Format, t)
+	}
 	s.runCached(w, r, key, "section/"+name, func(ctx context.Context) (cached, error) {
 		results := cxl2sim.RunJobs(sec.Jobs, cxl2sim.JobOptions{
 			Workers: s.cfg.Workers, RootSeed: req.Seed, Context: ctx,

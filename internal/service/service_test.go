@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -86,7 +87,8 @@ func TestHealthzAndSectionsList(t *testing.T) {
 		t.Fatalf("sections decode: %v", err)
 	}
 	want := map[string]bool{"table3": true, "fig3": true, "fig4": true,
-		"fig5": true, "fig6": true, "wqsweep": true, "infer": true}
+		"fig5": true, "fig6": true, "wqsweep": true, "infer": true,
+		"workload": true}
 	if len(list.Sections) != len(want) {
 		t.Fatalf("%d sections, want %d: %s", len(list.Sections), len(want), body)
 	}
@@ -188,6 +190,56 @@ func TestInferSectionCacheHit(t *testing.T) {
 	}
 	if !bytes.Equal(b1, ref.Bytes()) {
 		t.Fatalf("served bytes differ from serial render:\n%s\n----\n%s", b1, ref.Bytes())
+	}
+}
+
+// TestInferSectionTraceReplay: replaying the trace recorded from (reps,
+// seed) returns exactly the bytes a live run of the same (reps, seed)
+// produces, under a distinct cache key (the trace hash joins the key), and
+// malformed or misdirected traces fail with 400s before admission.
+func TestInferSectionTraceReplay(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+
+	live := fmt.Sprintf(`{"reps":%d,"seed":7}`, testReps)
+	respLive, bLive := post(t, ts.URL+"/v1/sections/infer", live)
+	if respLive.StatusCode != http.StatusOK {
+		t.Fatalf("live: %d %s", respLive.StatusCode, bLive)
+	}
+
+	tr := cxl2sim.RecordInferTrace(7, cxl2sim.InferConfig{Reps: testReps})
+	enc := base64.StdEncoding.EncodeToString(tr.Encode())
+	replay := fmt.Sprintf(`{"reps":%d,"seed":7,"trace":%q}`, testReps, enc)
+	resp1, b1 := post(t, ts.URL+"/v1/sections/infer", replay)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("replay: %d %s", resp1.StatusCode, b1)
+	}
+	if got := resp1.Header.Get("X-Cache"); got != "MISS" {
+		t.Fatalf("replay after live X-Cache = %q, want MISS (trace key is distinct)", got)
+	}
+	if !bytes.Equal(b1, bLive) {
+		t.Fatalf("replayed bytes differ from live generation:\n%s\n----\n%s", b1, bLive)
+	}
+	resp2, b2 := post(t, ts.URL+"/v1/sections/infer", replay)
+	if got := resp2.Header.Get("X-Cache"); got != "HIT" {
+		t.Fatalf("second replay X-Cache = %q, want HIT", got)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("cached replay body differs")
+	}
+
+	cases := []struct {
+		name, url, body string
+	}{
+		{"non-infer section", "/v1/sections/fig3", fmt.Sprintf(`{"trace":%q}`, enc)},
+		{"bad base64", "/v1/sections/infer", `{"trace":"!!!"}`},
+		{"bad trace bytes", "/v1/sections/infer",
+			fmt.Sprintf(`{"trace":%q}`, base64.StdEncoding.EncodeToString([]byte("notatrace")))},
+	}
+	for _, c := range cases {
+		resp, body := post(t, ts.URL+c.url, c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: %d %s, want 400", c.name, resp.StatusCode, body)
+		}
 	}
 }
 

@@ -1,0 +1,64 @@
+package workload_test
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// benchTrace builds a representative 4096-record trace: diurnal+burst
+// arrivals with cohort-shaped request sizes, the stream the replay path
+// decodes in production.
+func benchTrace() *workload.Trace {
+	const n = 4096
+	src := workload.NewTemporal(workload.MustNewRateCurve(4*sim.Second,
+		workload.RatePoint{At: 0, RatePerSec: 200},
+		workload.RatePoint{At: 2 * sim.Second, RatePerSec: 1600},
+	)).WithBursts(workload.BurstSpec{
+		MeanGap: 800 * sim.Millisecond, MeanLen: 60 * sim.Millisecond, Factor: 4,
+	})
+	r := rng.New(1)
+	t := &workload.Trace{Workload: "bench", Seed: 1, Requests: make([]workload.Request, n)}
+	now := sim.Time(0)
+	for i := range t.Requests {
+		now += src.GapAt(r, now)
+		t.Requests[i] = workload.Request{At: now, Key: uint64(i), Prompt: 64, Decode: 16}
+	}
+	return t
+}
+
+// BenchmarkTraceReplay measures the replay hot path: decoding a canonical
+// trace back into records. One encode up front, one full decode per
+// iteration.
+func BenchmarkTraceReplay(b *testing.B) {
+	enc := benchTrace().Encode()
+	b.SetBytes(int64(len(enc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := workload.DecodeTrace(enc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Requests) != 4096 {
+			b.Fatal("short decode")
+		}
+	}
+}
+
+// BenchmarkTraceEncode measures the record side: canonical encoding of the
+// same trace.
+func BenchmarkTraceEncode(b *testing.B) {
+	t := benchTrace()
+	enc := t.Encode()
+	b.SetBytes(int64(len(enc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(t.Encode()) != len(enc) {
+			b.Fatal("size changed")
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package workload_test
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Edge-case audit: the degenerate parameterizations that used to be silent
+// footguns — Zipf at n=1 and extreme theta, Poisson at vanishing rates,
+// Latest at tiny record counts — now either behave exactly or panic
+// loudly. These tests pin which is which.
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", name)
+		}
+	}()
+	f()
+}
+
+func TestZipfSingleItem(t *testing.T) {
+	// n=1: every draw must be rank 0 — the old code could return 1 (== n)
+	// on top-of-interval draws, which callers then had to modulo away.
+	z := workload.NewZipf(1, 0.99)
+	r := rng.New(1)
+	for i := 0; i < 10_000; i++ {
+		if k := z.Next(r); k != 0 {
+			t.Fatalf("draw %d: rank %d for n=1", i, k)
+		}
+	}
+}
+
+func TestZipfExtremeTheta(t *testing.T) {
+	r := rng.New(2)
+	// Near the ends of (0, 1) the constants stay finite and draws stay in
+	// range; the clamp catches the Gray approximation landing on n.
+	for _, theta := range []float64{0.001, 0.5, 0.999} {
+		z := workload.NewZipf(100, theta)
+		for i := 0; i < 10_000; i++ {
+			if k := z.Next(r); k >= 100 {
+				t.Fatalf("theta=%v draw %d: rank %d out of [0, 100)", theta, i, k)
+			}
+		}
+	}
+}
+
+func TestZipfInvalidParamsPanic(t *testing.T) {
+	mustPanic(t, "n=0", func() { workload.NewZipf(0, 0.99) })
+	mustPanic(t, "theta=0", func() { workload.NewZipf(10, 0) })
+	mustPanic(t, "theta=1", func() { workload.NewZipf(10, 1) })
+	mustPanic(t, "theta=-1", func() { workload.NewZipf(10, -1) })
+	mustPanic(t, "theta=1.5", func() { workload.NewZipf(10, 1.5) })
+}
+
+func TestPoissonVanishingRate(t *testing.T) {
+	// A rate so small the exponential draw overflows sim.Time must
+	// saturate at Forever — never a zero, negative, or wrapped gap.
+	p := workload.Poisson{RatePerSec: 1e-300}
+	r := rng.New(3)
+	for i := 0; i < 1000; i++ {
+		g := p.Gap(r)
+		if g != sim.Forever {
+			t.Fatalf("draw %d: gap %v at rate 1e-300, want Forever", i, g)
+		}
+	}
+}
+
+func TestPoissonSmallRateGapsPositive(t *testing.T) {
+	// At one arrival per simulated hour the gaps are enormous but must
+	// remain positive and below Forever most of the time.
+	p := workload.Poisson{RatePerSec: 1.0 / 3600}
+	r := rng.New(4)
+	saturated := 0
+	for i := 0; i < 1000; i++ {
+		g := p.Gap(r)
+		if g <= 0 {
+			t.Fatalf("draw %d: non-positive gap %v", i, g)
+		}
+		if g == sim.Forever {
+			saturated++
+		}
+	}
+	if saturated > 0 {
+		// Mean gap is 3600 s ≈ 3.6e15 ps; Forever needs a 2562-sigma draw.
+		t.Fatalf("%d/1000 gaps saturated at a perfectly finite rate", saturated)
+	}
+}
+
+func TestPoissonInvalidRatePanics(t *testing.T) {
+	r := rng.New(5)
+	mustPanic(t, "rate=0", func() { workload.Poisson{}.Gap(r) })
+	mustPanic(t, "rate<0", func() { workload.Poisson{RatePerSec: -1}.Gap(r) })
+}
+
+func TestLatestOneRecord(t *testing.T) {
+	// records=1: the only item is always "the latest". The old code's
+	// records-1-back underflow is the bug this pins against.
+	r := rng.New(6)
+	for i := 0; i < 10_000; i++ {
+		if k := workload.Latest(r, 1); k != 0 {
+			t.Fatalf("draw %d: key %d for records=1", i, k)
+		}
+	}
+}
+
+func TestLatestZeroRecordsPanics(t *testing.T) {
+	r := rng.New(7)
+	mustPanic(t, "records=0", func() { workload.Latest(r, 0) })
+}
+
+func TestTemporalZeroRateCurve(t *testing.T) {
+	// An all-zero curve has no arrivals: GapAt reports Forever instead of
+	// spinning in the thinning loop.
+	src := workload.NewTemporal(workload.FlatRate(0))
+	r := rng.New(8)
+	if g := src.GapAt(r, 0); g != sim.Forever {
+		t.Fatalf("zero-rate gap = %v, want Forever", g)
+	}
+}
+
+func TestTemporalGapNeverDecreasesTime(t *testing.T) {
+	src := workload.NewTemporal(statsCurve())
+	r := rng.New(9)
+	now := sim.Time(0)
+	for i := 0; i < 10_000; i++ {
+		g := src.GapAt(r, now)
+		if g < sim.Nanosecond {
+			t.Fatalf("draw %d: gap %v below the 1 ns floor", i, g)
+		}
+		now += g
+	}
+}
+
+func TestRateCurveValidation(t *testing.T) {
+	if _, err := workload.NewRateCurve(0); err == nil {
+		t.Error("empty curve accepted")
+	}
+	if _, err := workload.NewRateCurve(0,
+		workload.RatePoint{At: 0, RatePerSec: -1}); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := workload.NewRateCurve(0,
+		workload.RatePoint{At: sim.Second, RatePerSec: 1},
+		workload.RatePoint{At: sim.Second, RatePerSec: 2}); err == nil {
+		t.Error("non-increasing anchors accepted")
+	}
+	if _, err := workload.NewRateCurve(sim.Second,
+		workload.RatePoint{At: 2 * sim.Second, RatePerSec: 1}); err == nil {
+		t.Error("anchor beyond the period accepted")
+	}
+}
+
+func TestRateCurveInterpolation(t *testing.T) {
+	c := statsCurve() // (0, 100) → (1s, 900), period 2s
+	cases := []struct {
+		at   sim.Time
+		want float64
+	}{
+		{0, 100},
+		{500 * sim.Millisecond, 500},
+		{1 * sim.Second, 900},
+		{1500 * sim.Millisecond, 500}, // wrap segment back toward 100
+		{2 * sim.Second, 100},         // exactly one period later
+		{2500 * sim.Millisecond, 500}, // second period repeats
+	}
+	for _, tc := range cases {
+		if got := c.RateAt(tc.at); got != tc.want {
+			t.Errorf("RateAt(%v) = %v, want %v", tc.at, got, tc.want)
+		}
+	}
+}
+
+func TestMixValidation(t *testing.T) {
+	if _, err := workload.NewMix(); err == nil {
+		t.Error("empty mix accepted")
+	}
+	if _, err := workload.NewMix(workload.Cohort{Name: "x", Weight: 0}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := workload.NewMix(workload.Cohort{Name: "x", Weight: 1, KeyTheta: 1}); err == nil {
+		t.Error("KeyTheta=1 accepted")
+	}
+	if _, err := workload.NewMix(workload.Cohort{Name: "x", Weight: 1,
+		PromptMin: 10, PromptMax: 5}); err == nil {
+		t.Error("inverted prompt bounds accepted")
+	}
+	many := make([]workload.Cohort, 257)
+	for i := range many {
+		many[i] = workload.Cohort{Name: "c", Weight: 1, PromptMax: 1, DecodeMax: 1}
+	}
+	if _, err := workload.NewMix(many...); err == nil {
+		t.Error("257 cohorts accepted (cohort index must fit one trace byte)")
+	}
+}
+
+func TestMixSingleCohort(t *testing.T) {
+	mix := workload.MustNewMix(workload.Cohort{Name: "only", Weight: 3, PromptMax: 1, DecodeMax: 1})
+	r := rng.New(10)
+	for i := 0; i < 1000; i++ {
+		if got := mix.Pick(r); got != 0 {
+			t.Fatalf("pick %d = %d for a single cohort", i, got)
+		}
+	}
+}

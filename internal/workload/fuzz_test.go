@@ -1,0 +1,73 @@
+package workload_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Fuzz targets for the trace decoder. The contract under arbitrary input:
+// never panic, never allocate beyond what the input length justifies (the
+// decoder checks every length field before allocating), and for any input
+// it accepts, re-encoding reproduces exactly the bytes given — the
+// canonical-encoding property the result cache's trace hashing rests on.
+
+func FuzzDecodeTrace(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("CXWT"))
+	f.Add(sampleTrace().Encode())
+	f.Add((&workload.Trace{Workload: "ycsb-A", Seed: -1}).Encode())
+	// Header claiming far more records than the body holds: the exact
+	// length check must reject it without allocating the claimed count.
+	huge := (&workload.Trace{Workload: "x"}).Encode()
+	huge[len(huge)-1] = 0xff
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := workload.DecodeTrace(data)
+		if err != nil {
+			return
+		}
+		// Accepted: the record count is bounded by the input length...
+		if want := len(tr.Requests) * 26; want > len(data) {
+			t.Fatalf("decoded %d records out of %d input bytes", len(tr.Requests), len(data))
+		}
+		// ...and the canonical re-encoding is byte-identical.
+		if out := tr.Encode(); !bytes.Equal(out, data) {
+			t.Fatalf("encode(decode(b)) != b:\n in  %x\n out %x", data, out)
+		}
+	})
+}
+
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add("infer", int64(42), uint64(7), int64(1_000_000), uint32(24), uint32(8), uint8(0), uint8(1))
+	f.Add("", int64(0), uint64(0), int64(0), uint32(0), uint32(0), uint8(255), uint8(255))
+	f.Add("ycsb-D", int64(-9e18), ^uint64(0), int64(1<<62), ^uint32(0), uint32(1), uint8(3), uint8(2))
+	f.Fuzz(func(t *testing.T, label string, seed int64, key uint64, at int64,
+		prompt, decode uint32, cohort, kind uint8) {
+		if len(label) > 1024 {
+			label = label[:1024]
+		}
+		src := &workload.Trace{Workload: label, Seed: seed, Requests: []workload.Request{
+			{At: sim.Time(at), Key: key, Kind: kind, Cohort: cohort, Prompt: prompt, Decode: decode},
+			{At: sim.Time(at), Key: ^key, Kind: kind + 1, Cohort: cohort, Prompt: decode, Decode: prompt},
+		}}
+		enc := src.Encode()
+		got, err := workload.DecodeTrace(enc)
+		if err != nil {
+			t.Fatalf("decode of a generated trace: %v", err)
+		}
+		if got.Workload != src.Workload || got.Seed != src.Seed || len(got.Requests) != 2 {
+			t.Fatalf("header mangled: %+v", got)
+		}
+		for i := range src.Requests {
+			if got.Requests[i] != src.Requests[i] {
+				t.Fatalf("record %d = %+v, want %+v", i, got.Requests[i], src.Requests[i])
+			}
+		}
+		if !bytes.Equal(got.Encode(), enc) {
+			t.Fatal("re-encode diverged")
+		}
+	})
+}

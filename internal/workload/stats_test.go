@@ -1,0 +1,237 @@
+package workload_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Statistical property tests: under a fixed seed every generator's
+// empirical distribution must match its analytic form. The draw counts are
+// large enough that the tolerances sit several standard errors out, so a
+// failure means the generator (not the luck) changed; the seeds are fixed,
+// so a failure is also reproducible.
+
+// binomTol returns a 4-sigma tolerance for an empirical probability
+// estimated from n draws.
+func binomTol(p float64, n int) float64 {
+	return 4 * math.Sqrt(p*(1-p)/float64(n))
+}
+
+func TestPoissonEmpiricalMeanAndCDF(t *testing.T) {
+	const rate = 1000.0
+	const n = 100_000
+	mean := float64(sim.Second) / rate
+	p := workload.Poisson{RatePerSec: rate}
+	r := rng.New(21)
+	var sum float64
+	gaps := make([]float64, n)
+	for i := range gaps {
+		g := float64(p.Gap(r))
+		gaps[i] = g
+		sum += g
+	}
+	if got := sum / n; math.Abs(got-mean)/mean > 0.02 {
+		t.Fatalf("mean gap %v, want %v within 2%%", got, mean)
+	}
+	// The empirical CDF must match 1-exp(-x/mean) at several abscissae.
+	for _, mult := range []float64{0.25, 0.5, 1, 2} {
+		x := mult * mean
+		count := 0
+		for _, g := range gaps {
+			if g <= x {
+				count++
+			}
+		}
+		got := float64(count) / n
+		want := 1 - math.Exp(-mult)
+		if math.Abs(got-want) > binomTol(want, n) {
+			t.Errorf("CDF(%v*mean) = %v, want %v ± %v", mult, got, want, binomTol(want, n))
+		}
+	}
+}
+
+func TestZipfHeadProbabilitiesExact(t *testing.T) {
+	const n = 1000
+	const theta = 0.99
+	const draws = 200_000
+	// The Gray construction gives P(0) = 1/zeta(n,theta) and
+	// P(1) = 0.5^theta/zeta(n,theta) exactly.
+	zetan := 0.0
+	for i := 1; i <= n; i++ {
+		zetan += 1 / math.Pow(float64(i), theta)
+	}
+	p0 := 1 / zetan
+	p1 := math.Pow(0.5, theta) / zetan
+	z := workload.NewZipf(n, theta)
+	r := rng.New(23)
+	var c0, c1 int
+	for i := 0; i < draws; i++ {
+		switch z.Next(r) {
+		case 0:
+			c0++
+		case 1:
+			c1++
+		}
+	}
+	if got := float64(c0) / draws; math.Abs(got-p0) > binomTol(p0, draws) {
+		t.Errorf("P(rank 0) = %v, want %v ± %v", got, p0, binomTol(p0, draws))
+	}
+	if got := float64(c1) / draws; math.Abs(got-p1) > binomTol(p1, draws) {
+		t.Errorf("P(rank 1) = %v, want %v ± %v", got, p1, binomTol(p1, draws))
+	}
+}
+
+func TestLatestEmpiricalMean(t *testing.T) {
+	const records = 100_000
+	const draws = 100_000
+	// Latest draws back-distance Exp(records/20); truncation at records is
+	// negligible at this size.
+	want := float64(records) / 20
+	r := rng.New(25)
+	var sum float64
+	for i := 0; i < draws; i++ {
+		k := workload.Latest(r, records)
+		sum += float64(records - 1 - k)
+	}
+	if got := sum / draws; math.Abs(got-want)/want > 0.03 {
+		t.Fatalf("mean back-distance %v, want %v within 3%%", got, want)
+	}
+}
+
+// statsCurve is the two-anchor diurnal profile the temporal stats tests
+// share: 100/s at phase 0 rising linearly to 900/s at half period, then
+// back down across the wrap — average 500/s.
+func statsCurve() workload.RateCurve {
+	return workload.MustNewRateCurve(2*sim.Second,
+		workload.RatePoint{At: 0, RatePerSec: 100},
+		workload.RatePoint{At: 1 * sim.Second, RatePerSec: 900},
+	)
+}
+
+func TestTemporalRealizedRateTracksCurve(t *testing.T) {
+	const periods = 100
+	src := workload.NewTemporal(statsCurve())
+	r := rng.New(27)
+	horizon := sim.Time(periods) * 2 * sim.Second
+	// Quarter-period windows, folded across periods. Expected arrivals per
+	// window = the rate integral: averages 300/700/700/300 over 0.5 s.
+	counts := [4]int{}
+	want := [4]float64{150 * periods, 350 * periods, 350 * periods, 150 * periods}
+	now := sim.Time(0)
+	for {
+		g := src.GapAt(r, now)
+		now += g
+		if now >= horizon {
+			break
+		}
+		phase := now % (2 * sim.Second)
+		counts[int(phase/(500*sim.Millisecond))]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-want[i])/want[i] > 0.05 {
+			t.Errorf("window %d: %d arrivals, want %.0f within 5%%", i, c, want[i])
+		}
+	}
+}
+
+func TestTemporalBurstRaisesLongRunRate(t *testing.T) {
+	// Flat 1000/s with symmetric burst on/off (no cooldown): half the time
+	// at x1, half at x4, so the long-run rate is 2500/s.
+	src := workload.NewTemporal(workload.FlatRate(1000)).WithBursts(workload.BurstSpec{
+		MeanGap: 100 * sim.Millisecond,
+		MeanLen: 100 * sim.Millisecond,
+		Factor:  4,
+	})
+	r := rng.New(29)
+	horizon := 100 * sim.Second
+	now := sim.Time(0)
+	count := 0
+	for {
+		now += src.GapAt(r, now)
+		if now >= horizon {
+			break
+		}
+		count++
+	}
+	want := 2500.0 * 100
+	if math.Abs(float64(count)-want)/want > 0.10 {
+		t.Fatalf("%d arrivals in %v, want %.0f within 10%%", count, horizon, want)
+	}
+}
+
+func TestMixEmpiricalShares(t *testing.T) {
+	const draws = 100_000
+	mix := workload.MustNewMix(
+		workload.Cohort{Name: "a", Weight: 1, PromptMin: 1, PromptMax: 2, DecodeMin: 1, DecodeMax: 2},
+		workload.Cohort{Name: "b", Weight: 2, PromptMin: 1, PromptMax: 2, DecodeMin: 1, DecodeMax: 2},
+		workload.Cohort{Name: "c", Weight: 7, PromptMin: 1, PromptMax: 2, DecodeMin: 1, DecodeMax: 2},
+	)
+	r := rng.New(31)
+	counts := make([]int, mix.Len())
+	for i := 0; i < draws; i++ {
+		counts[mix.Pick(r)]++
+	}
+	want := []float64{0.1, 0.2, 0.7}
+	for i, c := range counts {
+		got := float64(c) / draws
+		if math.Abs(got-want[i]) > binomTol(want[i], draws) {
+			t.Errorf("cohort %d share %v, want %v ± %v", i, got, want[i], binomTol(want[i], draws))
+		}
+	}
+}
+
+// Pinned sequences: the temporal models and the mixture join the package's
+// determinism contract — these exact draws for these exact seeds, on every
+// architecture. A diff is a recalibration event, not a refactor.
+
+func TestTemporalGapsPinned(t *testing.T) {
+	want := []sim.Time{3583643348, 19877577538, 1242411267, 970975781,
+		1781591538, 1674352587, 7600623680, 870972306}
+	src := workload.NewTemporal(statsCurve())
+	r := rng.New(11)
+	now := sim.Time(0)
+	for i, w := range want {
+		g := src.GapAt(r, now)
+		if g != w {
+			t.Fatalf("gap %d = %d, want %d", i, int64(g), int64(w))
+		}
+		now += g
+	}
+}
+
+func TestTemporalBurstGapsPinned(t *testing.T) {
+	want := []sim.Time{17898244462, 5195378750, 4783581931, 312234685,
+		5928494174, 3973271912, 85732453, 15576096556}
+	src := workload.NewTemporal(statsCurve()).WithBursts(workload.BurstSpec{
+		MeanGap: 300 * sim.Millisecond, MeanLen: 50 * sim.Millisecond,
+		Factor: 5, Cooldown: 80 * sim.Millisecond, CoolFactor: 0.5,
+	})
+	r := rng.New(11)
+	now := sim.Time(0)
+	for i, w := range want {
+		g := src.GapAt(r, now)
+		if g != w {
+			t.Fatalf("gap %d = %d, want %d", i, int64(g), int64(w))
+		}
+		now += g
+	}
+}
+
+func TestMixPicksPinned(t *testing.T) {
+	want := []int{1, 2, 0, 2, 2, 2, 1, 1, 2, 2, 2, 1, 2, 2, 2, 2}
+	mix := workload.MustNewMix(
+		workload.Cohort{Name: "a", Weight: 1, PromptMin: 1, PromptMax: 2, DecodeMin: 1, DecodeMax: 2},
+		workload.Cohort{Name: "b", Weight: 2, PromptMin: 1, PromptMax: 2, DecodeMin: 1, DecodeMax: 2},
+		workload.Cohort{Name: "c", Weight: 7, PromptMin: 1, PromptMax: 2, DecodeMin: 1, DecodeMax: 2},
+	)
+	r := rng.New(13)
+	for i, w := range want {
+		if got := mix.Pick(r); got != w {
+			t.Fatalf("pick %d = %d, want %d", i, got, w)
+		}
+	}
+}

@@ -14,6 +14,7 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -32,8 +33,16 @@ type Zipf struct {
 }
 
 // NewZipf precomputes the generator constants for n items at the given
-// theta (YCSB uses 0.99).
+// theta (YCSB uses 0.99). n must be positive and theta in (0, 1): theta=1
+// makes alpha infinite and theta=0 is just uniform — both outside the
+// Gray/YCSB derivation the constants come from.
 func NewZipf(n uint64, theta float64) *Zipf {
+	if n == 0 {
+		panic("workload: Zipf needs at least one item")
+	}
+	if theta <= 0 || theta >= 1 {
+		panic(fmt.Sprintf("workload: Zipf theta must be in (0, 1), got %v", theta))
+	}
 	z := &Zipf{n: n, theta: theta}
 	z.zeta2theta = zetaStatic(2, theta)
 	z.alpha = 1 / (1 - theta)
@@ -52,7 +61,10 @@ func zetaStatic(n uint64, theta float64) float64 {
 	return sum
 }
 
-// Next draws the next rank, consuming exactly one Float64 from rng.
+// Next draws the next rank in [0, n), consuming exactly one Float64 from
+// rng. The Gray approximation can land exactly on n for draws at the very
+// top of the unit interval (and for n=1 every draw takes the uz < 1
+// branch); the clamp keeps the contract strict so callers need no modulo.
 func (z *Zipf) Next(rng *rand.Rand) uint64 {
 	u := rng.Float64()
 	uz := u * z.zetan
@@ -62,7 +74,11 @@ func (z *Zipf) Next(rng *rand.Rand) uint64 {
 	if uz < 1+math.Pow(0.5, z.theta) {
 		return 1
 	}
-	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	k := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if k >= z.n {
+		k = z.n - 1
+	}
+	return k
 }
 
 // N reports the item count the constants were computed for.
@@ -71,26 +87,30 @@ func (z *Zipf) N() uint64 { return z.n }
 // Poisson is an open-loop Poisson arrival process: exponentially
 // distributed gaps at RatePerSec aggregate arrivals per simulated second,
 // floored at one nanosecond so a pathological draw cannot schedule two
-// arrivals at the same instant.
+// arrivals at the same instant, and saturated at Forever so a vanishing
+// rate cannot overflow sim.Time into a gap in the past.
 type Poisson struct {
-	// RatePerSec is the aggregate arrival rate.
+	// RatePerSec is the aggregate arrival rate; it must be positive.
 	RatePerSec float64
 }
 
 // Gap draws the next inter-arrival gap, consuming exactly one ExpFloat64
 // from rng.
 func (p Poisson) Gap(rng *rand.Rand) sim.Time {
-	gap := sim.Time(rng.ExpFloat64() / p.RatePerSec * float64(sim.Second))
-	if gap < sim.Nanosecond {
-		gap = sim.Nanosecond
+	if p.RatePerSec <= 0 {
+		panic(fmt.Sprintf("workload: Poisson rate must be positive, got %v", p.RatePerSec))
 	}
-	return gap
+	return gapAtRate(rng, p.RatePerSec)
 }
 
 // Latest skews toward the most recently inserted of records items with
 // exponential decay (YCSB's "latest" chooser), consuming exactly one
-// ExpFloat64 from rng.
+// ExpFloat64 from rng. records must be positive (with records=0 there is
+// no "latest" item; the old code underflowed into a huge bogus key).
 func Latest(rng *rand.Rand, records uint64) uint64 {
+	if records == 0 {
+		panic("workload: Latest needs at least one record")
+	}
 	back := uint64(rng.ExpFloat64() * float64(records) / 20)
 	if back >= records {
 		back = records - 1
