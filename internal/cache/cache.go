@@ -74,22 +74,38 @@ type Victim struct {
 // Dirty reports whether the victim must be written back.
 func (v Victim) Dirty() bool { return v.State == Modified || v.State == Owned }
 
+// chunkShift sizes the lazy set-header blocks: 1<<chunkShift sets per
+// chunk. 64 sets keeps the eager outer index 64× smaller than one header
+// per set while a chunk header block is only a couple of KB.
+const (
+	chunkShift = 6
+	chunkSets  = 1 << chunkShift
+)
+
 // Cache is a set-associative cache with true-LRU replacement.
 //
-// Line storage is allocated per set, on the first Fill that touches the
-// set. The paper's caches are large (a 60 MB LLC is ~1M Line records) but
-// each experiment rig touches a tiny fraction of the sets, and every job of
-// the parallel runner builds its own rig — eagerly zeroing the full line
-// array dominated both the allocation volume and the construction time of
-// the characterization benchmarks. Untouched sets cost one nil slice
-// header; behavior is identical because an unallocated set and a set of
-// Invalid lines are indistinguishable through the API.
+// Line storage is three-level lazy: an eager outer index of 64-set chunks
+// (small — one nil slice header per 64 sets), a chunk's per-set header
+// block allocated on the first Fill inside it, and each set's lines
+// allocated on the set's own first Fill. The paper's caches are large (a
+// 60 MB LLC is ~1M Line records) but each experiment rig touches a tiny
+// fraction of the sets, and every job of the parallel runner builds its
+// own rig — eagerly zeroing the full line array dominated both the
+// allocation volume and the construction time of the characterization
+// benchmarks, and even one eager slice header per set made cache
+// construction the single largest allocation source in BenchmarkInfer.
+// Per-set (not per-chunk) line allocation matters for scattered working
+// sets: a rig touching thousands of isolated sets must not materialize 64
+// sets of lines per touched set. Behavior is identical because missing
+// storage and Invalid lines are indistinguishable through the API. Set
+// slices never move once allocated, so *Line pointers returned by
+// Lookup/Peek/Fill stay valid across later fills.
 type Cache struct {
 	name    string
 	ways    int
 	sets    int
 	setMask phys.Addr
-	setArr  [][]Line // per-set line arrays, nil until first Fill
+	chunks  [][][]Line // [chunk][set-in-chunk]lines; inner levels nil until first Fill
 	tick    uint64
 	stats   Stats
 }
@@ -114,7 +130,7 @@ func New(name string, sizeBytes, ways int) (*Cache, error) {
 		ways:    ways,
 		sets:    sets,
 		setMask: phys.Addr(sets - 1),
-		setArr:  make([][]Line, sets),
+		chunks:  make([][][]Line, (sets+chunkSets-1)>>chunkShift),
 	}, nil
 }
 
@@ -145,19 +161,36 @@ func (c *Cache) Stats() Stats { return c.stats }
 // ResetStats zeroes the event counters.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
-// set returns addr's set for lookup paths: nil when the set has never been
-// filled, which reads as all-Invalid.
+// set returns addr's set for lookup paths: nil when the set has never
+// been filled, which reads as all-Invalid.
 func (c *Cache) set(addr phys.Addr) []Line {
-	return c.setArr[(phys.LineAddr(addr)/phys.LineSize)&c.setMask]
+	idx := int((phys.LineAddr(addr) / phys.LineSize) & c.setMask)
+	ch := c.chunks[idx>>chunkShift]
+	if ch == nil {
+		return nil
+	}
+	return ch[idx&(chunkSets-1)]
 }
 
-// setAlloc returns addr's set for the fill path, allocating it on first use.
+// setAlloc returns addr's set for the fill path, allocating its chunk
+// header block and line storage on first use.
 func (c *Cache) setAlloc(addr phys.Addr) []Line {
-	idx := (phys.LineAddr(addr) / phys.LineSize) & c.setMask
-	s := c.setArr[idx]
+	idx := int((phys.LineAddr(addr) / phys.LineSize) & c.setMask)
+	ci := idx >> chunkShift
+	ch := c.chunks[ci]
+	if ch == nil {
+		n := chunkSets
+		if c.sets < chunkSets {
+			n = c.sets
+		}
+		ch = make([][]Line, n)
+		c.chunks[ci] = ch
+	}
+	si := idx & (chunkSets - 1)
+	s := ch[si]
 	if s == nil {
 		s = make([]Line, c.ways)
-		c.setArr[idx] = s
+		ch[si] = s
 	}
 	return s
 }
@@ -191,6 +224,26 @@ func (c *Cache) Peek(addr phys.Addr) *Line {
 		}
 	}
 	return nil
+}
+
+// MissRun reports how many consecutive cache lines, starting at addr's line
+// and stepping one line at a time, are absent from the cache — i.e. would
+// Peek nil — up to max. Like Peek it touches neither recency nor statistics;
+// block transfers use it to batch runs of miss-path lines.
+func (c *Cache) MissRun(addr phys.Addr, max int) int {
+	tag := phys.LineAddr(addr)
+	for i := 0; i < max; i++ {
+		idx := int((tag / phys.LineSize) & c.setMask)
+		if ch := c.chunks[idx>>chunkShift]; ch != nil {
+			for j, s := 0, ch[idx&(chunkSets-1)]; j < len(s); j++ {
+				if s[j].State != Invalid && s[j].Tag == tag {
+					return i
+				}
+			}
+		}
+		tag += phys.LineSize
+	}
+	return max
 }
 
 // Fill inserts addr with the given state (and optional data, which is
@@ -285,13 +338,16 @@ func (c *Cache) SetState(addr phys.Addr, st State) bool {
 }
 
 // VisitValid calls fn for every valid line. fn must not mutate the cache.
-// Only sets that have ever been filled are visited, so a sparse working set
-// scans in time proportional to the lines touched, not the cache capacity.
+// Only chunks that have ever been filled are visited, so a sparse working
+// set scans in time proportional to the lines touched, not the cache
+// capacity.
 func (c *Cache) VisitValid(fn func(l *Line)) {
-	for _, s := range c.setArr {
-		for i := range s {
-			if s[i].State != Invalid {
-				fn(&s[i])
+	for _, ch := range c.chunks {
+		for _, s := range ch {
+			for i := range s {
+				if s[i].State != Invalid {
+					fn(&s[i])
+				}
 			}
 		}
 	}
@@ -300,18 +356,20 @@ func (c *Cache) VisitValid(fn func(l *Line)) {
 // FlushAll invalidates every line, calling writeback for each dirty victim
 // (Modified or Owned) before dropping it. writeback may be nil.
 func (c *Cache) FlushAll(writeback func(v Victim)) {
-	for _, s := range c.setArr {
-		for i := range s {
-			l := &s[i]
-			if l.State == Invalid {
-				continue
+	for _, ch := range c.chunks {
+		for _, s := range ch {
+			for i := range s {
+				l := &s[i]
+				if l.State == Invalid {
+					continue
+				}
+				if writeback != nil && (l.State == Modified || l.State == Owned) {
+					c.stats.Writebacks++
+					writeback(Victim{Addr: l.Tag, State: l.State, Data: l.Data})
+				}
+				c.stats.Invalidations++
+				*l = Line{}
 			}
-			if writeback != nil && (l.State == Modified || l.State == Owned) {
-				c.stats.Writebacks++
-				writeback(Victim{Addr: l.Tag, State: l.State, Data: l.Data})
-			}
-			c.stats.Invalidations++
-			*l = Line{}
 		}
 	}
 }
@@ -321,19 +379,21 @@ func (c *Cache) FlushAll(writeback func(v Victim)) {
 // through writeback (may be nil).
 func (c *Cache) FlushRange(r phys.Range, writeback func(v Victim)) int {
 	flushed := 0
-	for _, s := range c.setArr {
-		for i := range s {
-			l := &s[i]
-			if l.State == Invalid || !r.Contains(l.Tag) {
-				continue
+	for _, ch := range c.chunks {
+		for _, s := range ch {
+			for i := range s {
+				l := &s[i]
+				if l.State == Invalid || !r.Contains(l.Tag) {
+					continue
+				}
+				if writeback != nil && (l.State == Modified || l.State == Owned) {
+					c.stats.Writebacks++
+					writeback(Victim{Addr: l.Tag, State: l.State, Data: l.Data})
+				}
+				c.stats.Invalidations++
+				*l = Line{}
+				flushed++
 			}
-			if writeback != nil && (l.State == Modified || l.State == Owned) {
-				c.stats.Writebacks++
-				writeback(Victim{Addr: l.Tag, State: l.State, Data: l.Data})
-			}
-			c.stats.Invalidations++
-			*l = Line{}
-			flushed++
 		}
 	}
 	return flushed
@@ -342,10 +402,12 @@ func (c *Cache) FlushRange(r phys.Range, writeback func(v Victim)) int {
 // CountValid returns the number of valid lines (for occupancy checks).
 func (c *Cache) CountValid() int {
 	n := 0
-	for _, s := range c.setArr {
-		for i := range s {
-			if s[i].State != Invalid {
-				n++
+	for _, ch := range c.chunks {
+		for _, s := range ch {
+			for i := range s {
+				if s[i].State != Invalid {
+					n++
+				}
 			}
 		}
 	}

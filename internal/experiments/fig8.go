@@ -507,11 +507,13 @@ func Fig8(feature string, workloads []ycsb.Workload, cfg Fig8Config) []Fig8Row {
 	return Fig8Collect(runSerial(Fig8Jobs(feature, workloads, cfg)))
 }
 
-// Fig8Jobs returns one self-contained co-simulation job per (workload,
-// variant), baseline first, in the paper's order. When cfg.Seed is zero
-// each job runs under its derived seed (rootSeed × job ID through
-// internal/rng); a non-zero cfg.Seed pins every run, which is what the
-// calibration uses.
+// Fig8Jobs returns one job per workload, each forking the baseline + the
+// four backend co-simulations as sub-jobs — baseline first, in the paper's
+// order — so a single workload's five variants spread across the pool even
+// when fig8 is the only section running. When cfg.Seed is zero each
+// variant runs under its derived seed (rootSeed × "fig8/feature/workload"
+// × variant through internal/rng); a non-zero cfg.Seed pins every run,
+// which is what the calibration uses.
 func Fig8Jobs(feature string, workloads []ycsb.Workload, cfg Fig8Config) []runner.Job {
 	if len(workloads) == 0 {
 		workloads = ycsb.Workloads()
@@ -522,19 +524,22 @@ func Fig8Jobs(feature string, workloads []ycsb.Workload, cfg Fig8Config) []runne
 	}
 	var jobs []runner.Job
 	for _, w := range workloads {
-		for _, v := range Fig8Variants() {
-			w, v := w, v
-			id := fmt.Sprintf("fig8/%s/%s/%s", feature, w, v)
-			jobs = append(jobs, runner.Job{ID: id, Run: func(ctx *runner.Ctx) (any, error) {
-				c := cfg
-				if c.Seed == 0 {
-					c.Seed = ctx.Seed
-				}
-				row, _, events := fig8RunCounted(run, v, w, c)
-				ctx.AddEvents(events)
-				return []Fig8Row{row}, nil
-			}})
-		}
+		id := fmt.Sprintf("fig8/%s/%s", feature, w)
+		jobs = append(jobs, runner.Job{ID: id, Run: func(ctx *runner.Ctx) (any, error) {
+			var subs []runner.SubJob
+			for _, v := range Fig8Variants() {
+				subs = append(subs, runner.SubJob{ID: v.String(), Run: func(sctx *runner.Ctx) (any, error) {
+					c := cfg
+					if c.Seed == 0 {
+						c.Seed = sctx.Seed
+					}
+					row, _, events := fig8RunCounted(run, v, w, c)
+					sctx.AddEvents(events)
+					return []Fig8Row{row}, nil
+				}})
+			}
+			return forkRows[Fig8Row](ctx, subs)
+		}})
 	}
 	return jobs
 }

@@ -120,21 +120,29 @@ func inferRow(sc InferScenario, requests int, seed int64, trace *workload.Trace)
 // InferJobs returns the section as one self-contained job: every scenario
 // must serve the *same* request stream for the tier comparison to mean
 // anything, and the only root-seed-deterministic value the scenarios can
-// share is a single job's derived seed.
+// share is a single job's derived seed. Within the job the scenarios are
+// independent serving simulations, so they fan out as sub-jobs over the
+// pool; each closure-captures the job-resolved stream seed (the sub's own
+// derived seed is deliberately unused) so the rows — and therefore the
+// rendered section — are byte-identical to the inline loop.
 func InferJobs(cfg InferConfig) []runner.Job {
 	requests := cfg.requests()
 	// Rough event credit per scenario: tokens × resident blocks × lines.
-	ops := len(InferScenarios()) * requests * 30 * 5 * 16
-	return []runner.Job{sliceJob("infer", ops, func(seed int64) []InferRow {
+	perScenario := requests * 30 * 5 * 16
+	return []runner.Job{{ID: "infer", Run: func(ctx *runner.Ctx) (any, error) {
+		seed := ctx.Seed
 		if cfg.Seed != 0 {
 			seed = cfg.Seed
 		}
-		var rows []InferRow
+		var subs []runner.SubJob
 		for _, sc := range InferScenarios() {
-			rows = append(rows, inferRow(sc, requests, seed, cfg.Trace))
+			subs = append(subs, runner.SubJob{ID: sc.Name, Run: func(sctx *runner.Ctx) (any, error) {
+				sctx.AddEvents(uint64(perScenario))
+				return []InferRow{inferRow(sc, requests, seed, cfg.Trace)}, nil
+			}})
 		}
-		return rows
-	})}
+		return forkRows[InferRow](ctx, subs)
+	}}}
 }
 
 // InferTrace records the request stream the infer section would serve

@@ -35,6 +35,25 @@ func sliceJob[T any](id string, ops int, cell func(seed int64) []T) runner.Job {
 	}}
 }
 
+// forkRows fans subs out through ctx.Fork — intra-job parallelism for the
+// big slice sections — and concatenates their []T fragments in submission
+// order, surfacing the first sub-job failure (captured panics included) as
+// the job's error. Because Fork merges in submission order and every sub's
+// randomness is resolved from seeds rather than scheduling, the
+// concatenation is byte-identical to running the cells inline.
+func forkRows[T any](ctx *runner.Ctx, subs []runner.SubJob) ([]T, error) {
+	var rows []T
+	for _, r := range ctx.Fork(subs) {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		if frag, ok := r.Value.([]T); ok {
+			rows = append(rows, frag...)
+		}
+	}
+	return rows, nil
+}
+
 // runSerial executes jobs on one worker under the default root seed — the
 // legacy serial drivers are this plus a collect.
 func runSerial(jobs []runner.Job) []runner.Result {

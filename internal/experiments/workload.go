@@ -172,44 +172,56 @@ func cohortRows(mix *workload.Mix, seed int64, n int) []WorkloadRow {
 }
 
 // WorkloadJobs returns the section as one self-contained job (all rows
-// share one derived seed, like the infer section).
+// share one derived seed, like the infer section). The three arrival
+// models and the cohort reduction are independent streams — each already
+// derives its own sub-seed from the shared one — so they fan out as
+// sub-jobs over the pool; every sub closure-captures the job-resolved seed
+// and the merged rows are byte-identical to the inline loop. The replay
+// round-trip rides in the diurnal+burst sub-job because it must re-decode
+// that sub's recorded trace.
 func WorkloadJobs(cfg WorkloadConfig) []runner.Job {
 	n := cfg.requests()
-	ops := 5 * n
-	return []runner.Job{sliceJob("workload", ops, func(seed int64) []WorkloadRow {
+	return []runner.Job{{ID: "workload", Run: func(ctx *runner.Ctx) (any, error) {
+		seed := ctx.Seed
 		if cfg.Seed != 0 {
 			seed = cfg.Seed
 		}
 		curve := workloadCurve()
 		peak := curve.MaxRate()
-		models := []struct {
-			name string
-			src  workload.ArrivalSource
-		}{
-			{"poisson", workload.Poisson{RatePerSec: peak / 2}},
-			{"diurnal", workload.NewTemporal(curve)},
-			{"diurnal+burst", workload.NewTemporal(curve).WithBursts(workloadBursts())},
-		}
-		var rows []WorkloadRow
-		var lastTrace *workload.Trace
-		for i, m := range models {
-			t := recordArrivals(m.src, rng.DeriveSeed(seed, "workload/"+m.name), n, m.name)
-			rows = append(rows, arrivalRow(m.name, t))
-			if i == len(models)-1 {
-				lastTrace = t
+		arrivalSub := func(name string, src workload.ArrivalSource, withReplay bool) runner.SubJob {
+			ops := n
+			if withReplay {
+				ops = 2 * n
 			}
+			return runner.SubJob{ID: name, Run: func(sctx *runner.Ctx) (any, error) {
+				sctx.AddEvents(uint64(ops))
+				t := recordArrivals(src, rng.DeriveSeed(seed, "workload/"+name), n, name)
+				rows := []WorkloadRow{arrivalRow(name, t)}
+				if withReplay {
+					// Round-trip the burstiest stream through the binary
+					// format and reduce the decoded records: the replay row
+					// must match its source row column for column, hash
+					// included.
+					replayed, err := workload.DecodeTrace(t.Encode())
+					if err != nil {
+						return nil, err
+					}
+					rows = append(rows, arrivalRow("replay(burst)", replayed))
+				}
+				return rows, nil
+			}}
 		}
-		// Round-trip the burstiest stream through the binary format and
-		// reduce the decoded records: the replay row must match its source
-		// row column for column, hash included.
-		replayed, err := workload.DecodeTrace(lastTrace.Encode())
-		if err != nil {
-			panic(err)
+		subs := []runner.SubJob{
+			arrivalSub("poisson", workload.Poisson{RatePerSec: peak / 2}, false),
+			arrivalSub("diurnal", workload.NewTemporal(curve), false),
+			arrivalSub("diurnal+burst", workload.NewTemporal(curve).WithBursts(workloadBursts()), true),
+			{ID: "cohorts", Run: func(sctx *runner.Ctx) (any, error) {
+				sctx.AddEvents(uint64(n))
+				return cohortRows(WorkloadCohorts(), seed, n), nil
+			}},
 		}
-		rows = append(rows, arrivalRow("replay(burst)", replayed))
-		rows = append(rows, cohortRows(WorkloadCohorts(), seed, n)...)
-		return rows
-	})}
+		return forkRows[WorkloadRow](ctx, subs)
+	}}}
 }
 
 // Workload runs the section serially.

@@ -110,7 +110,10 @@ func (s *Server) writeRunError(w http.ResponseWriter, err error) {
 	case errors.As(err, &herr):
 		writeError(w, herr.status, "%s", herr.msg)
 	case errors.Is(err, errQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(1+s.queue.depth()))
+		// Back off by the estimated drain time of the queue ahead of the
+		// caller, not its length: a one-deep queue of minute-long report
+		// runs needs a far longer retry than ten quick section runs.
+		w.Header().Set("Retry-After", strconv.Itoa(s.metrics.retryAfterSeconds(s.queue.depth())))
 		writeError(w, http.StatusTooManyRequests,
 			"admission queue full (%d waiting, %d in flight); retry later",
 			s.queue.depth(), s.queue.inFlight())

@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"sync"
@@ -30,7 +31,16 @@ type metrics struct {
 	simWall   time.Duration
 	jobsRun   uint64
 	jobsErred uint64
+	// runEWMA tracks the typical run wall time in seconds (exponentially
+	// weighted, runEWMAAlpha per observation); 0 until the first run
+	// completes. Retry-After on shed requests is derived from it.
+	runEWMA float64
 }
+
+// runEWMAAlpha weights the newest run at 20%: heavy enough to follow a
+// shift in workload mix within a few runs, light enough that one
+// cache-cold outlier does not dominate the estimate.
+const runEWMAAlpha = 0.2
 
 func newMetrics() *metrics {
 	return &metrics{
@@ -54,7 +64,28 @@ func (m *metrics) observeSection(name string, d time.Duration) {
 	s.count++
 	s.seconds += d.Seconds()
 	m.sections[name] = s
+	if m.runEWMA == 0 {
+		m.runEWMA = d.Seconds()
+	} else {
+		m.runEWMA = runEWMAAlpha*d.Seconds() + (1-runEWMAAlpha)*m.runEWMA
+	}
 	m.mu.Unlock()
+}
+
+// retryAfterSeconds estimates how long a shed request should back off:
+// the queue must drain `waiting` runs plus the caller's own, each taking
+// about one EWMA run time. Before any run has completed (EWMA still 0)
+// or for sub-second runs the floor of 1s applies — Retry-After is an
+// integer header and 0 would invite an immediate stampede.
+func (m *metrics) retryAfterSeconds(waiting int) int {
+	m.mu.Lock()
+	e := m.runEWMA
+	m.mu.Unlock()
+	secs := int(math.Ceil(e * float64(waiting+1)))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // observeJobs rolls a finished run's per-job wall/event stats into the
@@ -104,6 +135,8 @@ func (m *metrics) write(w io.Writer, q *queue, c *resultCache, draining bool) {
 	g("cxlsimd_cache_hit_rate", "hits/(hits+misses) since start.",
 		fmt.Sprintf("%.4f", cs.hitRate()))
 
+	g("cxlsimd_run_wall_ewma_seconds", "EWMA of run wall time (Retry-After basis).",
+		fmt.Sprintf("%.6f", m.runEWMA))
 	g("cxlsimd_sim_events_total", "Simulated events across all served jobs.", m.simEvents)
 	g("cxlsimd_sim_wall_seconds_total", "Cumulative job wall-clock seconds.",
 		fmt.Sprintf("%.6f", m.simWall.Seconds()))

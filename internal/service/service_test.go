@@ -493,3 +493,47 @@ func TestMetricsExposition(t *testing.T) {
 		}
 	}
 }
+
+// TestRetryAfterTracksRunEWMA: the 429 Retry-After header is derived from
+// an EWMA of observed run wall time scaled by the queue depth, with a 1s
+// floor — not from the queue depth alone.
+func TestRetryAfterTracksRunEWMA(t *testing.T) {
+	m := newMetrics()
+	if got := m.retryAfterSeconds(0); got != 1 {
+		t.Fatalf("no observations: retryAfter = %d, want the 1s floor", got)
+	}
+	m.observeSection("report", 5*time.Second)
+	if got := m.retryAfterSeconds(0); got != 5 {
+		t.Fatalf("after one 5s run: retryAfter(0 waiting) = %d, want 5", got)
+	}
+	if got := m.retryAfterSeconds(2); got != 15 {
+		t.Fatalf("after one 5s run: retryAfter(2 waiting) = %d, want 15", got)
+	}
+	// The estimate follows the workload: a burst of instant runs decays it
+	// (0.2 weight each), and the floor keeps the header at least 1.
+	for i := 0; i < 40; i++ {
+		m.observeSection("section/table3", 0)
+	}
+	if got := m.retryAfterSeconds(9); got != 1 {
+		t.Fatalf("after decay: retryAfter(9 waiting) = %d, want the 1s floor", got)
+	}
+
+	fast := newMetrics()
+	fast.observeSection("section/table3", 10*time.Millisecond)
+	if got := fast.retryAfterSeconds(0); got != 1 {
+		t.Fatalf("sub-second run: retryAfter = %d, want the 1s floor", got)
+	}
+
+	// Through the handler: a queue-full rejection must carry the
+	// EWMA-derived header, rounded up to whole seconds.
+	s := New(Config{})
+	s.metrics.observeSection("report", 2500*time.Millisecond)
+	rec := httptest.NewRecorder()
+	s.writeRunError(rec, errQueueFull)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("writeRunError(errQueueFull) status = %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After = %q, want \"3\" (ceil of the 2.5s EWMA)", got)
+	}
+}

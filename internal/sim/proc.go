@@ -14,6 +14,12 @@ type Proc struct {
 	// at is the process-local clock: the simulated time at which the previous
 	// step finished.
 	at Time
+	// step holds the pending callback of the typed scheduling fast path: a
+	// Proc chain has at most one outstanding step almost always, so Schedule
+	// parks fn here and the event carries only the Proc — one type assertion
+	// at dispatch instead of the pooled pair record's three. A second
+	// Schedule issued while step is occupied falls back to the pooled path.
+	step func(p *Proc)
 }
 
 // NewProc creates a process bound to eng, optionally pinned to core (nil for
@@ -82,12 +88,32 @@ func (p *Proc) Restart() { p.at = p.eng.Now() }
 // Schedule runs fn as an engine event at the process-local clock. The
 // callback receives the process so it can continue the chain.
 //
-// The proc and fn ride in a pooled two-argument event, so a chain that
-// reschedules a preallocated step function (rather than a fresh closure)
-// costs zero allocations per step.
+// A chain with one outstanding step — the shape of every daemon loop in
+// the model (kswapd, ksmd, the KVS serving loop) — takes the typed fast
+// path: fn parks in the Proc and the event carries the Proc alone, so a
+// step costs a single pointer type assertion and no pool traffic. Chains
+// that somehow overlap two pending steps fall back to the pooled
+// two-argument event; either way a preallocated step function (rather
+// than a fresh closure) costs zero allocations per step.
 func (p *Proc) Schedule(fn func(p *Proc)) {
+	if p.step == nil {
+		p.step = fn
+		p.eng.AtCall(p.at, callProcTyped, p)
+		return
+	}
 	p.eng.AtCall2(p.at, callProcStep, p, fn)
 }
 
-// callProcStep reunites a scheduled step with its process.
+// callProcTyped dispatches the parked step of the typed fast path. The
+// slot is cleared before fn runs so the step can immediately Schedule its
+// successor back onto the fast path.
+func callProcTyped(arg any) {
+	p := arg.(*Proc)
+	fn := p.step
+	p.step = nil
+	fn(p)
+}
+
+// callProcStep reunites a scheduled step with its process (the fallback
+// path for a Proc with two pending steps).
 func callProcStep(a, b any) { b.(func(*Proc))(a.(*Proc)) }

@@ -441,19 +441,57 @@ func TestCreditsInvalidCapacityPanics(t *testing.T) {
 	NewCredits("bad", 0)
 }
 
-func TestTimeHeapProperty(t *testing.T) {
-	f := func(vals []int16) bool {
-		var h timeHeap
-		for _, v := range vals {
-			h.pushTime(Time(v))
+// creditsRef is an obviously-correct reference model of Credits: a plain
+// multiset of completion times, re-sorted on every mutation.
+type creditsRef struct {
+	capacity int
+	pending  []Time
+}
+
+func (r *creditsRef) acquire(now Time) Time {
+	start := now
+	kept := r.pending[:0]
+	for _, t := range r.pending {
+		if t > start {
+			kept = append(kept, t)
 		}
-		prev := Time(-1 << 62)
-		for len(h) > 0 {
-			v := h.popTime()
-			if v < prev {
+	}
+	r.pending = kept
+	if len(r.pending) >= r.capacity {
+		sort.Slice(r.pending, func(i, j int) bool { return r.pending[i] < r.pending[j] })
+		start = r.pending[0]
+		r.pending = r.pending[1:]
+	}
+	return start
+}
+
+func (r *creditsRef) complete(t Time) { r.pending = append(r.pending, t) }
+
+// TestCreditsMatchesReference drives the sorted-ring Credits through random
+// interleavings of Acquire and Complete — including out-of-order completions
+// and non-monotone acquire times, which no current caller produces but the
+// API permits — and checks every returned start and in-flight count against
+// the reference multiset model.
+func TestCreditsMatchesReference(t *testing.T) {
+	f := func(ops []int16, capSeed uint8) bool {
+		capacity := 1 + int(capSeed%8)
+		c := NewCredits("prop", capacity)
+		ref := &creditsRef{capacity: capacity}
+		for _, op := range ops {
+			if op < 0 {
+				tm := Time(-op)
+				c.Complete(tm)
+				ref.complete(tm)
+			} else {
+				got := c.Acquire(Time(op))
+				want := ref.acquire(Time(op))
+				if got != want {
+					return false
+				}
+			}
+			if c.InFlight() != len(ref.pending) {
 				return false
 			}
-			prev = v
 		}
 		return true
 	}

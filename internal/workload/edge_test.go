@@ -115,11 +115,41 @@ func TestLatestZeroRecordsPanics(t *testing.T) {
 
 func TestTemporalZeroRateCurve(t *testing.T) {
 	// An all-zero curve has no arrivals: GapAt reports Forever instead of
-	// spinning in the thinning loop.
-	src := workload.NewTemporal(workload.FlatRate(0))
-	r := rng.New(8)
-	if g := src.GapAt(r, 0); g != sim.Forever {
-		t.Fatalf("zero-rate gap = %v, want Forever", g)
+	// spinning in the thinning loop. The envelope must stay zero for every
+	// all-zero shape — flat, multi-point periodic, and burst-modulated
+	// (Factor scales a zero peak to zero).
+	sources := map[string]*workload.Temporal{
+		"flat": workload.NewTemporal(workload.FlatRate(0)),
+		"periodic": workload.NewTemporal(workload.MustNewRateCurve(2*sim.Second,
+			workload.RatePoint{At: 0, RatePerSec: 0},
+			workload.RatePoint{At: sim.Second, RatePerSec: 0})),
+		"burst": workload.NewTemporal(workload.FlatRate(0)).WithBursts(workload.BurstSpec{
+			MeanGap: sim.Second, MeanLen: sim.Second, Factor: 8, CoolFactor: 1}),
+	}
+	for name, src := range sources {
+		r := rng.New(8)
+		if g := src.GapAt(r, 0); g != sim.Forever {
+			t.Errorf("%s: zero-rate gap = %v, want Forever", name, g)
+		}
+	}
+}
+
+func TestRateCurveSeamExact(t *testing.T) {
+	// Segment endpoints must evaluate to their anchor rates exactly: with
+	// rates chosen so a+(b-a) misses b by an ulp, the periodic seam
+	// (t == Period reduces to the first point) and every interior anchor
+	// must still return the anchor's RatePerSec bit for bit.
+	c := workload.MustNewRateCurve(2*sim.Second,
+		workload.RatePoint{At: 0, RatePerSec: 0.3},
+		workload.RatePoint{At: sim.Second, RatePerSec: 0.1})
+	if got := c.RateAt(0); got != 0.3 {
+		t.Errorf("RateAt(Points[0].At) = %v, want exactly 0.3", got)
+	}
+	if got, first := c.RateAt(2*sim.Second), c.RateAt(0); got != first {
+		t.Errorf("RateAt(Period) = %v, RateAt(Points[0].At) = %v, want exact agreement", got, first)
+	}
+	if got := c.RateAt(sim.Second); got != 0.1 {
+		t.Errorf("RateAt(interior anchor) = %v, want exactly 0.1", got)
 	}
 }
 

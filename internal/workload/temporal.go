@@ -144,7 +144,11 @@ func (c RateCurve) MaxRate() float64 {
 }
 
 func lerpRate(a, b float64, off, span sim.Time) float64 {
-	if span <= 0 {
+	if off >= span {
+		// Segment endpoints must evaluate to their anchor rate exactly:
+		// a + (b-a)*1.0 can miss b by an ulp, which would make a periodic
+		// curve's rate at the wrap seam (t == Period, reduced to the first
+		// point) disagree with RateAt(Points[0].At).
 		return b
 	}
 	return a + (b-a)*float64(off)/float64(span)
