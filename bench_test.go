@@ -18,6 +18,7 @@ import (
 	"repro/internal/experiments"
 	hostpkg "repro/internal/host"
 	"repro/internal/infer"
+	"repro/internal/infer/cluster"
 	"repro/internal/sim"
 	"repro/internal/ycsb"
 )
@@ -60,6 +61,29 @@ func BenchmarkInfer(b *testing.B) {
 	}
 	b.ReportMetric(m.TPOT.Mean()*1000, "TPOT-ns")
 	b.ReportMetric(m.Goodput/1000, "goodput-ktoks")
+}
+
+// BenchmarkCluster runs one 4-replica cluster serving simulation — the
+// replicas draw KV blocks from a shared Type-3 pool behind one switch,
+// with local blocks oversubscribed so the fabric actually contends — and
+// reports fleet serving quality plus switch arbitration wait, extending
+// the perf gate over the fabric + cluster path.
+func BenchmarkCluster(b *testing.B) {
+	var m cluster.Metrics
+	for i := 0; i < b.N; i++ {
+		m = cluster.Run(cluster.Config{
+			Seed:         7,
+			Replicas:     4,
+			Requests:     48,
+			RatePerSec:   400_000,
+			LocalBlocks:  4,
+			SharedBlocks: 24,
+			Router:       cluster.NewRoundRobin(), // routers are single-use
+		})
+	}
+	b.ReportMetric(m.TPOT.Mean()*1000, "TPOT-ns")
+	b.ReportMetric(m.Goodput/1000, "goodput-ktoks")
+	b.ReportMetric(float64(m.SwitchWaited().Microseconds()), "sw-wait-us")
 }
 
 func BenchmarkFig4(b *testing.B) {

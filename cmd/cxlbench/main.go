@@ -1,8 +1,9 @@
 // Command cxlbench regenerates the paper's device-characterization
 // experiments (§V): Fig. 3 (D2H true vs emulated), Fig. 4 (D2D bias
 // modes), Fig. 5 (H2D Type-2 vs Type-3), Fig. 6 (CXL vs PCIe transfer
-// sweep), Table III (coherence states), the §V-A write-queue sweep, and
-// the LLM-serving KV-cache placement study (infer).
+// sweep), Table III (coherence states), the §V-A write-queue sweep, the
+// LLM-serving KV-cache placement study (infer), the traffic-model
+// section (workload), and the multi-host pooled-memory study (cluster).
 //
 // Experiments run as self-contained jobs over a shared-nothing worker
 // pool (-parallel, default GOMAXPROCS workers); per-job seeds derive from
@@ -12,7 +13,10 @@
 // Usage:
 //
 //	cxlbench [-reps N] [-parallel N | -serial] [-seed S]
-//	         [-bench-json PATH] [fig3|fig4|fig5|fig6|table3|wqsweep|infer|workload|all]
+//	         [-bench-json PATH] [<section>|all]
+//
+// where <section> is any name from the section registry (run with -h for
+// the current list).
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 
 	cxl2sim "repro"
@@ -46,7 +51,11 @@ func run() int {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this path (go tool pprof)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cxlbench [-reps N] [-parallel N | -serial] [-seed S] [fig3|fig4|fig5|fig6|table3|wqsweep|infer|workload|all]\n")
+		// The section list comes from the registry, so adding a section
+		// updates the help text automatically (the hand-written list
+		// drifted every time one landed).
+		names := strings.Join(cxl2sim.ExperimentSectionNames(), "|")
+		fmt.Fprintf(os.Stderr, "usage: cxlbench [-reps N] [-parallel N | -serial] [-seed S] [%s|all]\n", names)
 		flag.PrintDefaults()
 	}
 	flag.Parse()

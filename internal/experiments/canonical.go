@@ -25,6 +25,17 @@ func SectionKeyTrace(name string, reps int, seed int64, format string, traceHash
 	return fmt.Sprintf("%s|trace=%016x", SectionKey(name, reps, seed, format), traceHash)
 }
 
+// SectionKeyTopology is SectionKey for a run over a non-default fabric
+// topology: the topology's canonical key (fabric.Topology.CanonicalKey —
+// sorted, orientation-free, defaults normalized) joins the cache key
+// because the rendered bytes depend on the compiled fabric, and two
+// topologies that Build observationally identical fabrics must share an
+// entry while any parameter change must miss. The default topology is
+// deliberately NOT folded in, so pre-fabric cache entries stay valid.
+func SectionKeyTopology(name string, reps int, seed int64, format, topoKey string) string {
+	return fmt.Sprintf("%s|topo=%s", SectionKey(name, reps, seed, format), topoKey)
+}
+
 // ReportKey is the canonical cache key for the full paper-vs-measured
 // comparison report.
 func ReportKey(reps int, full bool, seed int64) string {

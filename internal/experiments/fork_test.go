@@ -81,6 +81,23 @@ func TestFig8IntraJobParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestClusterIntraJobParallelMatchesSerial pins the acceptance-criteria
+// identity: the cluster section — 4-replica scenarios drawing from a
+// shared Type-3 pool behind one switch, fanned out as Fork sub-jobs —
+// renders byte-identically serial and parallel (run under -race in CI).
+func TestClusterIntraJobParallelMatchesSerial(t *testing.T) {
+	sec := section("cluster", ClusterJobs(ClusterConfig{Reps: 30}), PrintCluster)
+	serial := renderSection(t, sec, 1)
+	if serial == "" {
+		t.Fatal("empty cluster section output")
+	}
+	for _, workers := range forkWorkerCounts()[1:] {
+		if got := renderSection(t, sec, workers); got != serial {
+			t.Errorf("cluster section bytes diverged at %d workers", workers)
+		}
+	}
+}
+
 // TestForkSubJobPanicSurfacesAsJobError: a sub-job crash inside a section
 // job must surface through the section's renderer as a job error naming
 // the sub, without disturbing sibling sections or jobs.

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/cxl"
 	"repro/internal/device"
+	"repro/internal/fabric"
 	"repro/internal/host"
 	"repro/internal/mem"
 	"repro/internal/phys"
@@ -43,15 +44,23 @@ func NewRig(devType cxl.DeviceType) *Rig {
 // fixed permutations), so a derived seed never shifts the calibrated
 // numbers; the seed exists so that any future stochastic rig component
 // inherits per-job reproducibility for free.
+//
+// Since the fabric layer landed, a rig is just the compiled 1×1 topology
+// preset: one host directly attached to one CXL device
+// (fabric.OneToOne), the degenerate case of the same Build path that
+// wires multi-host clusters. The compiled components — host, home agent,
+// calibrated CXL link, attached device — are identical to what the
+// pre-fabric constructor built, so every golden file still renders byte
+// for byte.
 func NewRigSeeded(devType cxl.DeviceType, seed int64) *Rig {
-	p := timing.Default()
-	h := host.MustNew(p, host.Config{LLCBytes: 8 << 20, LLCWays: 16, Cores: 8})
-	cfg := device.DefaultConfig()
-	cfg.Type = devType
-	if _, err := h.Attach(cfg); err != nil {
-		panic(err)
+	kind := fabric.Type2
+	if devType == cxl.Type3 {
+		kind = fabric.Type3
 	}
-	return &Rig{P: p, Host: h, Dev: h.Dev, Emu: h.NewEmuCore(), rng: rng.New(seed)}
+	topo := fabric.OneToOne(kind, fabric.NodeSpec{LLCBytes: 8 << 20, LLCWays: 16, Cores: 8})
+	f := fabric.MustBuild(topo, nil)
+	h := f.Host("h0")
+	return &Rig{P: f.Params(), Host: h, Dev: h.Dev, Emu: h.NewEmuCore(), rng: rng.New(seed)}
 }
 
 // hostLine returns the i-th distinct host-memory line of a random-ish

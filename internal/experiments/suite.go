@@ -115,7 +115,20 @@ func Sections(reps int) []Section {
 		section("wqsweep", WriteQueueSweepJobs(nil), PrintWriteQueueSweep),
 		section("infer", InferJobs(InferConfig{Reps: reps}), PrintInfer),
 		section("workload", WorkloadJobs(WorkloadConfig{Reps: reps}), PrintWorkload),
+		section("cluster", ClusterJobs(ClusterConfig{Reps: reps}), PrintCluster),
 	}
+}
+
+// SectionNames lists the registered section names in presentation order —
+// the single source the commands derive their usage text and section
+// validation from, so the list can never drift from the registry again.
+func SectionNames() []string {
+	secs := Sections(0)
+	names := make([]string, len(secs))
+	for i, s := range secs {
+		names[i] = s.Name
+	}
+	return names
 }
 
 // SectionByName locates a section.

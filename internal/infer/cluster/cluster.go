@@ -1,0 +1,581 @@
+// Package cluster scales the single-instance serving model of
+// internal/infer to a multi-host CXL cluster: N serving replicas — each a
+// full host with its own cores, LLC and local DRAM block pool — draw
+// overflow KV-cache blocks from shared Type-3 expanders behind a CXL
+// switch (a fabric.Star topology). A pluggable router spreads the open
+// request stream across replicas (round-robin, least-loaded,
+// session-affinity), each replica runs its own continuous-batching loop
+// with reservation-based admission, and every shared-block access rides
+// the fabric — so switch-port arbitration and expander bandwidth show up
+// directly in TTFT/TPOT when the shared pool is oversubscribed.
+//
+// The whole simulation is sequential and seeded (internal/rng derived
+// streams), replaying byte-identical metrics for a fixed Config: the
+// `cluster` experiment section leans on that to render identically in
+// serial and parallel suite runs.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/cxl"
+	"repro/internal/fabric"
+	"repro/internal/infer"
+	"repro/internal/phys"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/timing"
+	"repro/internal/workload"
+)
+
+// localPoolBase places each replica's local KV pool in host DRAM, clear
+// of the regions the figures use (same base as infer's near pool).
+const localPoolBase = phys.Addr(4 << 30)
+
+// Config parameterizes one cluster serving simulation.
+type Config struct {
+	// Seed drives every random stream (arrivals, shapes, sessions)
+	// through derived internal/rng streams.
+	Seed int64
+	// Replicas is the number of serving hosts; Expanders the number of
+	// shared Type-3 pools behind the switch.
+	Replicas, Expanders int
+	// Requests is the total request count; RatePerSec the Poisson
+	// arrival rate of the open stream.
+	Requests   int
+	RatePerSec float64
+	// PromptMin/Max and DecodeMin/Max bound request shapes (tokens),
+	// zipf-skewed toward the minimum like the single-instance model.
+	PromptMin, PromptMax int
+	DecodeMin, DecodeMax int
+	// Sessions is how many distinct client sessions the stream draws
+	// from (zipf-skewed: a few sessions dominate), the signal the
+	// affinity router exploits.
+	Sessions int
+	// MaxBatch bounds each replica's continuous batch.
+	MaxBatch int
+	// BlockTokens and BytesPerToken shape the paged KV cache.
+	BlockTokens, BytesPerToken int
+	// LocalBlocks sizes each replica's local DRAM pool; SharedBlocks
+	// sizes each expander's shared pool. Replicas spill to the shared
+	// pool when local runs out, so LocalBlocks < working set puts
+	// traffic on the fabric.
+	LocalBlocks, SharedBlocks int
+	// Router spreads requests across replicas. Routers are stateful and
+	// single-use: construct a fresh one per Run. Nil means round-robin.
+	Router Router
+	// PortCredits sizes the switch's per-egress-port credit pool. The
+	// cluster default is 2 — a modest store-and-forward buffer, so a few
+	// replicas hammering one expander link queue visibly at the port
+	// instead of vanishing into deep buffering.
+	PortCredits int
+	// Model is the per-token compute profile (shared with infer).
+	Model infer.ModelProfile
+}
+
+// withDefaults fills zero fields with a small 2-replica setup whose
+// working set spills to the shared pool.
+func (c Config) withDefaults() Config {
+	if c.Replicas == 0 {
+		c.Replicas = 2
+	}
+	if c.Expanders == 0 {
+		c.Expanders = 1
+	}
+	if c.Requests == 0 {
+		c.Requests = 64
+	}
+	if c.RatePerSec == 0 {
+		c.RatePerSec = 25_000
+	}
+	if c.PromptMin == 0 {
+		c.PromptMin = 24
+	}
+	if c.PromptMax == 0 {
+		c.PromptMax = 64
+	}
+	if c.DecodeMin == 0 {
+		c.DecodeMin = 8
+	}
+	if c.DecodeMax == 0 {
+		c.DecodeMax = 24
+	}
+	if c.Sessions == 0 {
+		c.Sessions = 12
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 4
+	}
+	if c.BlockTokens == 0 {
+		c.BlockTokens = 16
+	}
+	if c.BytesPerToken == 0 {
+		c.BytesPerToken = 32
+	}
+	if c.LocalBlocks == 0 {
+		c.LocalBlocks = 16
+	}
+	if c.SharedBlocks == 0 {
+		c.SharedBlocks = 256
+	}
+	if c.PortCredits == 0 {
+		c.PortCredits = 2
+	}
+	if c.Router == nil {
+		c.Router = NewRoundRobin()
+	}
+	if c.Model == (infer.ModelProfile{}) {
+		c.Model = infer.DefaultModel()
+	}
+	return c
+}
+
+// Topology returns the fabric topology the configuration compiles to: a
+// Star of Replicas hosts and Expanders Type-3 pools behind one switch.
+func (c Config) Topology() fabric.Topology {
+	c = c.withDefaults()
+	return fabric.Star(c.Replicas, c.Expanders,
+		fabric.NodeSpec{LLCBytes: 1 << 20, LLCWays: 16, Cores: 4},
+		fabric.NodeSpec{PortCredits: c.PortCredits},
+		fabric.LinkSpec{})
+}
+
+// ReplicaMetrics is one replica's serving outcome.
+type ReplicaMetrics struct {
+	Requests   int
+	TTFT, TPOT stats.Sample
+	GenTokens  int
+	// LocalBytes and SharedBytes count KV payload served from the
+	// replica's own DRAM pool vs the shared expanders.
+	LocalBytes, SharedBytes uint64
+}
+
+// Metrics is the outcome of one cluster simulation.
+type Metrics struct {
+	Router   string
+	Replicas []ReplicaMetrics
+	// TTFT and TPOT aggregate every request (microseconds).
+	TTFT, TPOT stats.Sample
+	GenTokens  int
+	Elapsed    sim.Time
+	Goodput    float64
+	// Links and Ports are the fabric's per-link traffic and switch
+	// arbitration stats.
+	Links []fabric.LinkStat
+	Ports []fabric.PortStat
+	// TopoKey is the compiled topology's canonical key — the piece the
+	// experiment cache key folds in.
+	TopoKey string
+	// Accesses counts simulated KV block accesses (the event measure for
+	// runner accounting).
+	Accesses uint64
+}
+
+// SwitchWaited sums arbitration wait across all switch egress ports.
+func (m *Metrics) SwitchWaited() sim.Time {
+	var w sim.Time
+	for _, p := range m.Ports {
+		w += p.Waited
+	}
+	return w
+}
+
+// PeakQueue returns the deepest egress-port queue seen anywhere.
+func (m *Metrics) PeakQueue() int {
+	q := 0
+	for _, p := range m.Ports {
+		if p.PeakQueue > q {
+			q = p.PeakQueue
+		}
+	}
+	return q
+}
+
+// creq is one in-flight request.
+type creq struct {
+	id             int
+	arrival        sim.Time
+	session        uint32
+	prompt, decode int
+	blocks         []cblock
+	tokensInLast   int
+	generated      int
+	prefilled      bool
+	firstTok       sim.Time
+	lastTok        sim.Time
+	// resLocal/resShared are the request's outstanding block
+	// reservations against its replica's local pool and the shared pool.
+	resLocal, resShared int
+}
+
+// cblock is one allocated KV block: a local DRAM address or a shared
+// slot on an expander.
+type cblock struct {
+	shared bool
+	exp    int       // expander index when shared
+	addr   phys.Addr // local address when !shared
+}
+
+// replica is one serving host: router queue, continuous batch, local
+// block pool.
+type replica struct {
+	idx       int
+	hostID    string
+	localFree []phys.Addr
+	resLocal  int
+	queue     []*creq
+	batch     []*creq
+	active    bool
+	nextAt    sim.Time
+	m         ReplicaMetrics
+}
+
+// sharedSlot is one free shared block.
+type sharedSlot struct{ exp int }
+
+// Cluster is one compiled cluster simulation.
+type Cluster struct {
+	cfg        Config
+	p          *timing.Params
+	f          *fabric.Fabric
+	reps       []*replica
+	sharedFree []sharedSlot
+	resShared  int
+	blockBytes int
+	m          Metrics
+}
+
+// New compiles the cluster: fabric, replicas, pools.
+func New(cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	p := timing.Default()
+	c := &Cluster{
+		cfg:        cfg,
+		p:          p,
+		f:          fabric.MustBuild(cfg.Topology(), p),
+		blockBytes: cfg.BlockTokens * cfg.BytesPerToken,
+	}
+	for i, id := range c.f.Hosts() {
+		r := &replica{idx: i, hostID: id}
+		for b := cfg.LocalBlocks - 1; b >= 0; b-- {
+			r.localFree = append(r.localFree,
+				localPoolBase+phys.Addr(b*c.blockBytes))
+		}
+		c.reps = append(c.reps, r)
+	}
+	// Stripe the shared free list round-robin across expanders so
+	// allocation spreads load before any expander saturates.
+	for b := 0; b < cfg.SharedBlocks; b++ {
+		for x := 0; x < cfg.Expanders; x++ {
+			c.sharedFree = append(c.sharedFree, sharedSlot{exp: x})
+		}
+	}
+	c.m.Router = cfg.Router.Name()
+	c.m.TopoKey = cfg.Topology().CanonicalKey(p)
+	return c
+}
+
+// Run executes the cluster simulation to completion. Deterministic in
+// Config.
+func Run(cfg Config) Metrics {
+	c := New(cfg)
+	c.serve(c.genRequests())
+	return c.m
+}
+
+// NumReplicas and Load expose routing signals: Load is a replica's
+// queued plus batched request count.
+func (c *Cluster) NumReplicas() int { return len(c.reps) }
+func (c *Cluster) Load(i int) int   { return len(c.reps[i].queue) + len(c.reps[i].batch) }
+
+// genRequests draws the seeded open request stream.
+func (c *Cluster) genRequests() []*creq {
+	cfg := c.cfg
+	arrRng := rng.Derive(cfg.Seed, "cluster/arrivals")
+	shapeRng := rng.Derive(cfg.Seed, "cluster/shape")
+	sessRng := rng.Derive(cfg.Seed, "cluster/session")
+	pZipf := workload.NewZipf(uint64(cfg.PromptMax-cfg.PromptMin+1), 0.99)
+	dZipf := workload.NewZipf(uint64(cfg.DecodeMax-cfg.DecodeMin+1), 0.99)
+	sZipf := workload.NewZipf(uint64(cfg.Sessions), 0.99)
+	arrivals := workload.Poisson{RatePerSec: cfg.RatePerSec}
+	capacity := cfg.LocalBlocks + cfg.SharedBlocks*cfg.Expanders
+	reqs := make([]*creq, cfg.Requests)
+	now := sim.Time(0)
+	for i := range reqs {
+		now += arrivals.GapAt(arrRng, now)
+		r := &creq{
+			id:      i,
+			arrival: now,
+			session: uint32(sZipf.Next(sessRng) % uint64(cfg.Sessions)),
+			prompt:  cfg.PromptMin + int(pZipf.Next(shapeRng)%uint64(pZipf.N())),
+			decode:  cfg.DecodeMin + int(dZipf.Next(shapeRng)%uint64(dZipf.N())),
+		}
+		if w := c.blocksFor(r.prompt + r.decode); w > capacity {
+			panic(fmt.Sprintf("cluster: request needs %d KV blocks, pools hold %d", w, capacity))
+		}
+		reqs[i] = r
+	}
+	return reqs
+}
+
+// serve is the cluster event loop: always advance the earliest pending
+// action — an arrival (routed to a replica) or the earliest-scheduled
+// replica step — with deterministic tie-breaks (arrivals first, then the
+// lowest replica index).
+func (c *Cluster) serve(reqs []*creq) {
+	next := 0
+	finished := 0
+	for finished < len(reqs) {
+		var rep *replica
+		for _, r := range c.reps {
+			if r.active && (rep == nil || r.nextAt < rep.nextAt) {
+				rep = r
+			}
+		}
+		if next < len(reqs) && (rep == nil || reqs[next].arrival <= rep.nextAt) {
+			q := reqs[next]
+			next++
+			tgt := c.cfg.Router.Route(routeView(q), c)
+			if tgt < 0 || tgt >= len(c.reps) {
+				panic(fmt.Sprintf("cluster: router %s routed to replica %d of %d",
+					c.cfg.Router.Name(), tgt, len(c.reps)))
+			}
+			r := c.reps[tgt]
+			r.queue = append(r.queue, q)
+			if !r.active {
+				r.active = true
+				r.nextAt = q.arrival
+			}
+			continue
+		}
+		if rep == nil {
+			// No scheduled step and no arrivals left, but requests remain:
+			// every replica is starved on capacity with nothing in flight
+			// to free it — the configuration cannot serve the stream.
+			panic("cluster: starved — shared pool too small for any admission")
+		}
+		finished += c.step(rep)
+	}
+	c.finalize(reqs)
+}
+
+// step runs one continuous-batching step on rep: admit from its queue
+// under reservation-based admission, prefill/decode the batch, retire.
+// Returns how many requests finished.
+func (c *Cluster) step(rep *replica) int {
+	cfg := c.cfg
+	now := rep.nextAt
+	for len(rep.queue) > 0 && len(rep.batch) < cfg.MaxBatch {
+		q := rep.queue[0]
+		w := c.blocksFor(q.prompt + q.decode)
+		// Worst-case reservation, split local-first: the request's blocks
+		// are guaranteed before it enters the batch, so replicas drawing
+		// from the shared pool can never deadlock each other mid-decode.
+		l := min(len(rep.localFree)-rep.resLocal, w)
+		if l < 0 {
+			l = 0
+		}
+		s := w - l
+		if len(c.sharedFree)-c.resShared < s {
+			break
+		}
+		rep.resLocal += l
+		c.resShared += s
+		q.resLocal, q.resShared = l, s
+		rep.batch = append(rep.batch, q)
+		rep.queue = rep.queue[1:]
+	}
+	if len(rep.batch) == 0 {
+		// Starved (queue non-empty) or idle: re-armed by the next routed
+		// arrival or by a shared-pool release elsewhere.
+		rep.active = false
+		return 0
+	}
+	stepEnd := now
+	for _, q := range rep.batch {
+		var done sim.Time
+		if !q.prefilled {
+			done = c.prefill(rep, q, now)
+		} else {
+			done = c.decodeOne(rep, q, now)
+		}
+		if done > stepEnd {
+			stepEnd = done
+		}
+	}
+	finished := 0
+	keep := rep.batch[:0]
+	for _, q := range rep.batch {
+		if q.prefilled && q.generated >= q.decode {
+			c.retire(rep, q, stepEnd)
+			finished++
+			continue
+		}
+		keep = append(keep, q)
+	}
+	rep.batch = keep
+	rep.nextAt = stepEnd
+	if finished > 0 {
+		// Freed blocks may unblock capacity-starved replicas.
+		for _, r := range c.reps {
+			if !r.active && len(r.queue) > 0 {
+				r.active = true
+				r.nextAt = stepEnd
+			}
+		}
+	}
+	return finished
+}
+
+// prefill processes the whole prompt: compute, allocate the prompt's
+// blocks, stream the KV out, emit the first token.
+func (c *Cluster) prefill(rep *replica, q *creq, now sim.Time) sim.Time {
+	cfg := c.cfg
+	t := now + sim.Time(q.prompt)*cfg.Model.PrefillPerToken
+	remaining := q.prompt * cfg.BytesPerToken
+	for remaining > 0 {
+		n := min(remaining, c.blockBytes)
+		b := c.alloc(rep, q)
+		q.blocks = append(q.blocks, b)
+		t = c.access(rep, b, n, t, true)
+		remaining -= n
+	}
+	q.tokensInLast = q.prompt % cfg.BlockTokens
+	if q.tokensInLast == 0 && q.prompt > 0 {
+		q.tokensInLast = cfg.BlockTokens
+	}
+	q.prefilled = true
+	q.generated = 1
+	rep.m.GenTokens++
+	c.m.GenTokens++
+	q.firstTok = t
+	q.lastTok = t
+	ttft := float64(t-q.arrival) / float64(sim.Microsecond)
+	rep.m.TTFT.Add(ttft)
+	c.m.TTFT.Add(ttft)
+	return t
+}
+
+// decodeOne generates one token: attention reads every resident block
+// (local through the replica's memory system, shared over the fabric),
+// compute runs, the token's KV appends to the tail block.
+func (c *Cluster) decodeOne(rep *replica, q *creq, now sim.Time) sim.Time {
+	cfg := c.cfg
+	// Attention reads every resident block independently, so the reads
+	// issue concurrently at step start — bounded by the resources they
+	// contend for (the replica's core and memory locally, switch ports
+	// and expander channels on the fabric) — and compute waits for the
+	// slowest one. This memory-level parallelism is what makes shared-
+	// pool oversubscription visible as switch queueing.
+	t := now
+	for _, b := range q.blocks {
+		if done := c.access(rep, b, c.blockBytes, now, false); done > t {
+			t = done
+		}
+	}
+	t += cfg.Model.DecodePerToken
+	if q.tokensInLast == cfg.BlockTokens {
+		b := c.alloc(rep, q)
+		q.blocks = append(q.blocks, b)
+		q.tokensInLast = 0
+	}
+	t = c.access(rep, q.blocks[len(q.blocks)-1], cfg.BytesPerToken, t, true)
+	q.tokensInLast++
+	q.generated++
+	rep.m.GenTokens++
+	c.m.GenTokens++
+	q.lastTok = t
+	return t
+}
+
+// retire frees a finished request's blocks and folds in its TPOT.
+func (c *Cluster) retire(rep *replica, q *creq, now sim.Time) {
+	for _, b := range q.blocks {
+		if b.shared {
+			c.sharedFree = append(c.sharedFree, sharedSlot{exp: b.exp})
+		} else {
+			rep.localFree = append(rep.localFree, b.addr)
+		}
+	}
+	q.blocks = nil
+	rep.m.Requests++
+	if q.generated > 1 {
+		perTok := float64(q.lastTok-q.firstTok) / float64(q.generated-1) /
+			float64(sim.Microsecond)
+		rep.m.TPOT.Add(perTok)
+		c.m.TPOT.Add(perTok)
+	}
+	if q.lastTok > c.m.Elapsed {
+		c.m.Elapsed = q.lastTok
+	}
+	_ = now
+}
+
+// alloc takes one block for q, honoring its admission reservation:
+// local while the local reservation lasts, shared after.
+func (c *Cluster) alloc(rep *replica, q *creq) cblock {
+	if q.resLocal > 0 {
+		q.resLocal--
+		rep.resLocal--
+		a := rep.localFree[len(rep.localFree)-1]
+		rep.localFree = rep.localFree[:len(rep.localFree)-1]
+		return cblock{addr: a}
+	}
+	if q.resShared <= 0 {
+		panic("cluster: allocation beyond admission reservation")
+	}
+	q.resShared--
+	c.resShared--
+	s := c.sharedFree[0]
+	c.sharedFree = c.sharedFree[1:]
+	return cblock{shared: true, exp: s.exp}
+}
+
+// access moves n KV bytes of block b for replica rep: local blocks
+// stream through the replica host's memory system with non-temporal
+// line ops; shared blocks ride the fabric to their expander.
+func (c *Cluster) access(rep *replica, b cblock, n int, now sim.Time, write bool) sim.Time {
+	c.m.Accesses++
+	if b.shared {
+		rep.m.SharedBytes += uint64(n)
+		x := c.f.Expanders()[b.exp]
+		if write {
+			return c.f.WriteShared(rep.hostID, x, n, now)
+		}
+		return c.f.ReadShared(rep.hostID, x, n, now)
+	}
+	rep.m.LocalBytes += uint64(n)
+	core := c.f.Host(rep.hostID).Core(0)
+	op := cxl.NtLd
+	if write {
+		op = cxl.NtSt
+	}
+	done := now
+	for off := 0; off < n; off += phys.LineSize {
+		r := core.Access(op, b.addr+phys.Addr(off), nil, now)
+		if r.Done > done {
+			done = r.Done
+		}
+	}
+	return done
+}
+
+// finalize computes aggregate metrics and snapshots the fabric stats.
+func (c *Cluster) finalize(reqs []*creq) {
+	start := reqs[0].arrival
+	if c.m.Elapsed > start {
+		c.m.Goodput = float64(c.m.GenTokens) /
+			(float64(c.m.Elapsed-start) / float64(sim.Second))
+	}
+	for _, r := range c.reps {
+		c.m.Replicas = append(c.m.Replicas, r.m)
+	}
+	c.m.Links = c.f.LinkStats()
+	c.m.Ports = c.f.PortStats()
+}
+
+// blocksFor returns how many KV blocks tokens occupy.
+func (c *Cluster) blocksFor(tokens int) int {
+	return (tokens + c.cfg.BlockTokens - 1) / c.cfg.BlockTokens
+}

@@ -88,7 +88,7 @@ func TestHealthzAndSectionsList(t *testing.T) {
 	}
 	want := map[string]bool{"table3": true, "fig3": true, "fig4": true,
 		"fig5": true, "fig6": true, "wqsweep": true, "infer": true,
-		"workload": true}
+		"workload": true, "cluster": true}
 	if len(list.Sections) != len(want) {
 		t.Fatalf("%d sections, want %d: %s", len(list.Sections), len(want), body)
 	}

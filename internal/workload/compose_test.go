@@ -1,0 +1,175 @@
+package workload_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// diurnal is a 24-"hour" base curve (hours compressed to seconds so test
+// times stay small): overnight trough, morning ramp, midday peak, evening
+// shoulder.
+func diurnal() workload.RateCurve {
+	return workload.MustNewRateCurve(24*sim.Second,
+		workload.RatePoint{At: 0, RatePerSec: 200},
+		workload.RatePoint{At: 6 * sim.Second, RatePerSec: 500},
+		workload.RatePoint{At: 12 * sim.Second, RatePerSec: 1000},
+		workload.RatePoint{At: 18 * sim.Second, RatePerSec: 700})
+}
+
+// weekly is a dimensionless 7-day multiplier envelope over the diurnal
+// base: weekdays run hot, the weekend drops off.
+func weekly() workload.RateCurve {
+	return workload.MustNewRateCurve(7*24*sim.Second,
+		workload.RatePoint{At: 0, RatePerSec: 1.0},
+		workload.RatePoint{At: 4 * 24 * sim.Second, RatePerSec: 1.2},
+		workload.RatePoint{At: 5 * 24 * sim.Second, RatePerSec: 0.6},
+		workload.RatePoint{At: 6 * 24 * sim.Second, RatePerSec: 0.4})
+}
+
+// TestComposeExactAtAnchors: the composed curve's rate equals the product
+// of the inputs bit for bit at every anchor of either input — base
+// anchors in every base repetition, envelope anchors, and coincident
+// ones — because anchors are where the piecewise-linear approximation of
+// the piecewise-quadratic product is pinned.
+func TestComposeExactAtAnchors(t *testing.T) {
+	base, env := diurnal(), weekly()
+	c, err := base.Compose(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Period != env.Period {
+		t.Fatalf("composed period %v, want envelope period %v", c.Period, env.Period)
+	}
+	reps := env.Period / base.Period
+	for k := sim.Time(0); k < reps; k++ {
+		for _, p := range base.Points {
+			at := k*base.Period + p.At
+			want := base.RateAt(at) * env.RateAt(at)
+			if got := c.RateAt(at); got != want {
+				t.Errorf("base anchor rep %d at %v: RateAt = %v, want exactly %v", k, at, got, want)
+			}
+		}
+	}
+	for _, p := range env.Points {
+		want := base.RateAt(p.At) * env.RateAt(p.At)
+		if got := c.RateAt(p.At); got != want {
+			t.Errorf("envelope anchor at %v: RateAt = %v, want exactly %v", p.At, got, want)
+		}
+	}
+}
+
+// TestComposeSeamExact extends the RateAt(Period) pin to composed curves:
+// the composed period seam must agree exactly with the curve's origin,
+// and every interior base-period seam must agree with the product there.
+func TestComposeSeamExact(t *testing.T) {
+	base, env := diurnal(), weekly()
+	c := base.MustCompose(env)
+	if got, first := c.RateAt(c.Period), c.RateAt(0); got != first {
+		t.Errorf("RateAt(Period) = %v, RateAt(0) = %v, want exact agreement", got, first)
+	}
+	for k := sim.Time(1); k < env.Period/base.Period; k++ {
+		at := k * base.Period
+		want := base.RateAt(at) * env.RateAt(at)
+		if got := c.RateAt(at); got != want {
+			t.Errorf("base seam at %v: RateAt = %v, want exactly %v", at, got, want)
+		}
+	}
+}
+
+// TestComposeBetweenAnchorsBounded: inside a segment the composed curve
+// is a secant of the true quadratic product, so it must stay within the
+// segment's product range (sanity against gross interpolation bugs).
+func TestComposeBetweenAnchorsBounded(t *testing.T) {
+	base, env := diurnal(), weekly()
+	c := base.MustCompose(env)
+	for at := sim.Time(0); at < c.Period; at += 100 * sim.Millisecond {
+		got := c.RateAt(at)
+		truth := base.RateAt(at) * env.RateAt(at)
+		// Secant error on a quadratic is at most a quarter of the
+		// segment's rate swing; a generous relative bound suffices here.
+		if diff := got - truth; diff < -0.25*truth-1 || diff > 0.25*truth+1 {
+			t.Fatalf("at %v: composed %v vs product %v diverge beyond secant bound", at, got, truth)
+		}
+	}
+}
+
+// TestComposeFeedsTemporal: a composed curve drives Temporal like any
+// other, with the package's determinism contract intact.
+func TestComposeFeedsTemporal(t *testing.T) {
+	c := diurnal().MustCompose(weekly())
+	gaps := func() []sim.Time {
+		src := workload.NewTemporal(c)
+		r := rng.New(11)
+		now := sim.Time(0)
+		var out []sim.Time
+		for i := 0; i < 500; i++ {
+			g := src.GapAt(r, now)
+			if g <= 0 {
+				t.Fatalf("draw %d: non-positive gap %v", i, g)
+			}
+			now += g
+			out = append(out, g)
+		}
+		return out
+	}
+	a, b := gaps(), gaps()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("gap %d differs across identical runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestComposeErrors rejects aperiodic inputs and misaligned periods.
+func TestComposeErrors(t *testing.T) {
+	periodic := diurnal()
+	flat := workload.FlatRate(100)
+	cases := []struct {
+		name      string
+		base, env workload.RateCurve
+		wantSub   string
+	}{
+		{"aperiodic base", flat, weekly(), "periodic base"},
+		{"aperiodic envelope", periodic, flat, "periodic envelope"},
+		{"misaligned period", periodic, workload.MustNewRateCurve(36*sim.Second,
+			workload.RatePoint{At: 0, RatePerSec: 1}), "integer multiple"},
+	}
+	for _, tc := range cases {
+		_, err := tc.base.Compose(tc.env)
+		if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+// TestComposeCoincidentAnchors: when a base anchor replica lands exactly
+// on an envelope anchor the union keeps one point, and validation still
+// passes (strictly increasing At).
+func TestComposeCoincidentAnchors(t *testing.T) {
+	base := workload.MustNewRateCurve(2*sim.Second,
+		workload.RatePoint{At: 0, RatePerSec: 10},
+		workload.RatePoint{At: sim.Second, RatePerSec: 20})
+	env := workload.MustNewRateCurve(4*sim.Second,
+		workload.RatePoint{At: 0, RatePerSec: 1},
+		workload.RatePoint{At: 2 * sim.Second, RatePerSec: 2})
+	c, err := base.Compose(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(c.Points); i++ {
+		if c.Points[i].At <= c.Points[i-1].At {
+			t.Fatalf("anchor %d not strictly increasing: %+v", i, c.Points)
+		}
+	}
+	// 4 base anchor replicas, 2 envelope anchors, 2 coincide (0 and 2s).
+	if len(c.Points) != 4 {
+		t.Fatalf("got %d anchors, want 4 (coincident ones merged): %+v", len(c.Points), c.Points)
+	}
+	if got := c.RateAt(2 * sim.Second); got != 10*2 {
+		t.Errorf("coincident anchor rate = %v, want 20", got)
+	}
+}

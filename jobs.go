@@ -66,10 +66,15 @@ func WriteJobStatsJSON(w io.Writer, results []JobResult, workers int, rootSeed i
 // the renderer that assembles their rows.
 type ExperimentSection = experiments.Section
 
-// ExperimentSections returns the cxlbench sections (table3, fig3, fig4,
-// fig5, fig6, wqsweep) in presentation order. reps tunes the repetition
-// count (0 keeps the paper's defaults).
+// ExperimentSections returns the cxlbench sections (see
+// ExperimentSectionNames for the registry) in presentation order. reps
+// tunes the repetition count (0 keeps the paper's defaults).
 func ExperimentSections(reps int) []ExperimentSection { return experiments.Sections(reps) }
+
+// ExperimentSectionNames lists the registered section names in
+// presentation order — the single source for usage text and validation,
+// so command help can never drift from the registry.
+func ExperimentSectionNames() []string { return experiments.SectionNames() }
 
 // ExperimentSectionByName locates a section.
 func ExperimentSectionByName(secs []ExperimentSection, name string) (ExperimentSection, bool) {
