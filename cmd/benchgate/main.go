@@ -1,8 +1,12 @@
 // Command benchgate is the perf-CI gate: it parses `go test -bench`
 // text output, reduces each benchmark to its median over repeated runs
-// (-count=N), and compares ns/op against a committed JSON baseline.
-// The build fails when the geometric-mean ns/op ratio across shared
-// benchmarks regresses by more than -threshold percent.
+// (-count=N), and compares ns/op and allocs/op against a committed JSON
+// baseline. The build fails when the geometric-mean ns/op ratio across
+// shared benchmarks regresses by more than -threshold percent, or the
+// geomean allocs/op ratio (over benchmarks that report allocations on
+// both sides) regresses by more than -alloc-threshold percent —
+// separate gates, so an allocation regression cannot hide behind a
+// wall-clock win on a noisy runner and vice versa.
 //
 // The committed baseline has two forms, written together by -update:
 // the JSON this tool gates against, and the raw `go test -bench` text
@@ -53,6 +57,7 @@ func run() int {
 	baseline := flag.String("baseline", "BENCH_core.json", "committed baseline JSON to gate against")
 	raw := flag.String("raw", filepath.Join("testdata", "bench", "BENCH_core.txt"), "committed raw bench text (benchstat old side), written by -update")
 	threshold := flag.Float64("threshold", 10, "max allowed geomean ns/op regression, percent")
+	allocThreshold := flag.Float64("alloc-threshold", 10, "max allowed geomean allocs/op regression, percent")
 	update := flag.Bool("update", false, "rewrite -baseline and -raw from the input instead of gating")
 	jsonOut := flag.String("json", "", "also write the current run's medians as JSON to this path")
 	flag.Usage = func() {
@@ -101,19 +106,23 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		return 1
 	}
-	return gate(os.Stdout, base, cur, *threshold)
+	return gate(os.Stdout, base, cur, *threshold, *allocThreshold)
 }
 
 // gate prints a per-benchmark delta table and returns the exit code:
-// non-zero when the geomean ns/op ratio exceeds the threshold.
-func gate(w io.Writer, base *Baseline, cur []Record, thresholdPct float64) int {
+// non-zero when the geomean ns/op ratio exceeds thresholdPct, or the
+// geomean allocs/op ratio exceeds allocThresholdPct. The allocs gate
+// only considers benchmarks where both sides report a positive
+// allocs/op (zero-alloc and pre-benchmem baseline records carry no
+// signal about allocation behavior).
+func gate(w io.Writer, base *Baseline, cur []Record, thresholdPct, allocThresholdPct float64) int {
 	baseBy := make(map[string]Record, len(base.Benchmarks))
 	for _, r := range base.Benchmarks {
 		baseBy[r.Name] = r
 	}
-	var logSum float64
-	var shared int
-	fmt.Fprintf(w, "%-40s %14s %14s %8s\n", "benchmark", "base ns/op", "cur ns/op", "delta")
+	var logSum, logSumAlloc float64
+	var shared, sharedAlloc int
+	fmt.Fprintf(w, "%-40s %14s %14s %8s %10s\n", "benchmark", "base ns/op", "cur ns/op", "delta", "allocs Δ")
 	for _, c := range cur {
 		b, ok := baseBy[c.Name]
 		if !ok || b.NsPerOp <= 0 || c.NsPerOp <= 0 {
@@ -123,7 +132,14 @@ func gate(w io.Writer, base *Baseline, cur []Record, thresholdPct float64) int {
 		ratio := c.NsPerOp / b.NsPerOp
 		logSum += math.Log(ratio)
 		shared++
-		fmt.Fprintf(w, "%-40s %14.1f %14.1f %+7.1f%%\n", c.Name, b.NsPerOp, c.NsPerOp, 100*(ratio-1))
+		allocCol := "-"
+		if b.AllocsPerOp > 0 && c.AllocsPerOp > 0 {
+			ar := c.AllocsPerOp / b.AllocsPerOp
+			logSumAlloc += math.Log(ar)
+			sharedAlloc++
+			allocCol = fmt.Sprintf("%+.1f%%", 100*(ar-1))
+		}
+		fmt.Fprintf(w, "%-40s %14.1f %14.1f %+7.1f%% %10s\n", c.Name, b.NsPerOp, c.NsPerOp, 100*(ratio-1), allocCol)
 		delete(baseBy, c.Name)
 	}
 	for name := range baseBy {
@@ -133,14 +149,25 @@ func gate(w io.Writer, base *Baseline, cur []Record, thresholdPct float64) int {
 		fmt.Fprintln(w, "benchgate: FAIL: no benchmarks shared with the baseline")
 		return 1
 	}
+	code := 0
 	geomeanPct := 100 * (math.Exp(logSum/float64(shared)) - 1)
 	fmt.Fprintf(w, "geomean over %d shared benchmarks: %+.1f%% (threshold +%.0f%%)\n", shared, geomeanPct, thresholdPct)
 	if geomeanPct > thresholdPct {
 		fmt.Fprintln(w, "benchgate: FAIL: geomean ns/op regression exceeds threshold")
-		return 1
+		code = 1
 	}
-	fmt.Fprintln(w, "benchgate: ok")
-	return 0
+	if sharedAlloc > 0 {
+		allocPct := 100 * (math.Exp(logSumAlloc/float64(sharedAlloc)) - 1)
+		fmt.Fprintf(w, "allocs/op geomean over %d benchmarks: %+.1f%% (threshold +%.0f%%)\n", sharedAlloc, allocPct, allocThresholdPct)
+		if allocPct > allocThresholdPct {
+			fmt.Fprintln(w, "benchgate: FAIL: geomean allocs/op regression exceeds threshold")
+			code = 1
+		}
+	}
+	if code == 0 {
+		fmt.Fprintln(w, "benchgate: ok")
+	}
+	return code
 }
 
 // readInputs parses every named file (stdin when none) and returns the

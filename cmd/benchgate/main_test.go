@@ -75,7 +75,44 @@ func TestGateThreshold(t *testing.T) {
 	}
 	for _, tc := range cases {
 		var sb strings.Builder
-		if code := gate(&sb, base, tc.cur, 10); code != tc.wantCode {
+		if code := gate(&sb, base, tc.cur, 10, 10); code != tc.wantCode {
+			t.Errorf("%s: exit %d, want %d\n%s", tc.name, code, tc.wantCode, sb.String())
+		}
+	}
+}
+
+func TestGateAllocThreshold(t *testing.T) {
+	base := &Baseline{Benchmarks: []Record{
+		{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 1000},
+		{Name: "BenchmarkB", NsPerOp: 100}, // no alloc stats in baseline
+	}}
+	cases := []struct {
+		name     string
+		cur      []Record
+		wantCode int
+	}{
+		{"alloc regression fails even with ns/op win", []Record{
+			{Name: "BenchmarkA", NsPerOp: 80, AllocsPerOp: 1200},
+			{Name: "BenchmarkB", NsPerOp: 80},
+		}, 1},
+		{"alloc improvement passes", []Record{
+			{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 500},
+			{Name: "BenchmarkB", NsPerOp: 100},
+		}, 0},
+		{"small alloc regression passes", []Record{
+			{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 1050},
+			{Name: "BenchmarkB", NsPerOp: 100},
+		}, 0},
+		// Records without allocs on either side must not join the alloc
+		// geomean: a baseline recorded before -benchmem carries no signal.
+		{"absent alloc stats are skipped", []Record{
+			{Name: "BenchmarkA", NsPerOp: 100},
+			{Name: "BenchmarkB", NsPerOp: 100, AllocsPerOp: 9999},
+		}, 0},
+	}
+	for _, tc := range cases {
+		var sb strings.Builder
+		if code := gate(&sb, base, tc.cur, 10, 10); code != tc.wantCode {
 			t.Errorf("%s: exit %d, want %d\n%s", tc.name, code, tc.wantCode, sb.String())
 		}
 	}

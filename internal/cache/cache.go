@@ -105,9 +105,11 @@ type Cache struct {
 	ways    int
 	sets    int
 	setMask phys.Addr
-	chunks  [][][]Line // [chunk][set-in-chunk]lines; inner levels nil until first Fill
-	tick    uint64
-	stats   Stats
+	chunks   [][][]Line // [chunk][set-in-chunk]lines; inner levels nil until first Fill
+	free     []Line     // slab remainder feeding per-set line storage
+	slabSets int        // sets per slab; grows geometrically toward chunkSets
+	tick     uint64
+	stats    Stats
 }
 
 // New creates a cache of the given total size in bytes and associativity.
@@ -189,7 +191,27 @@ func (c *Cache) setAlloc(addr phys.Addr) []Line {
 	si := idx & (chunkSets - 1)
 	s := ch[si]
 	if s == nil {
-		s = make([]Line, c.ways)
+		// Carve set storage out of a growing slab: streaming fills touch
+		// sets in bulk, and one allocation per set was a dominant slice
+		// of the figure benchmarks' allocation profile. Slabs start
+		// small and grow geometrically so short-lived rigs that touch a
+		// handful of sets don't pay for (and zero) a full chunk's worth.
+		if len(c.free) < c.ways {
+			if c.slabSets < chunkSets {
+				if c.slabSets == 0 {
+					c.slabSets = 4
+				} else {
+					c.slabSets *= 4
+				}
+			}
+			n := c.slabSets
+			if c.sets < n {
+				n = c.sets
+			}
+			c.free = make([]Line, n*c.ways)
+		}
+		s = c.free[:c.ways:c.ways]
+		c.free = c.free[c.ways:]
 		ch[si] = s
 	}
 	return s

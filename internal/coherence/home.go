@@ -31,6 +31,10 @@ type HomeAgent struct {
 	dir map[phys.Addr]cache.State
 	// stats
 	d2hReads, d2hWrites, backInvalidations uint64
+
+	// arena backs the line buffers handed to requesters. Returned data
+	// stays valid until the next ResetArena (bump allocation).
+	arena phys.LineArena
 }
 
 // NewHomeAgent builds a home agent over the given LLC, backing store and
@@ -58,6 +62,9 @@ func (h *HomeAgent) Channels() *mem.Channels { return h.channels }
 // DeviceHolds reports the directory's view of the HMC state for a line
 // (Invalid if untracked).
 func (h *HomeAgent) DeviceHolds(addr phys.Addr) cache.State {
+	if len(h.dir) == 0 {
+		return cache.Invalid
+	}
 	return h.dir[phys.LineAddr(addr)]
 }
 
@@ -94,7 +101,7 @@ func (h *HomeAgent) D2H(req cxl.D2HReq, addr phys.Addr, data []byte, arrive sim.
 		if hit {
 			return D2HResult{
 				Done:   base + h.p.CXL.HostLLCRead + h.p.CXL.NCReadExtraHit,
-				Data:   cloneLine(line.Data),
+				Data:   h.arena.Clone(line.Data),
 				LLCHit: true,
 			}
 		}
@@ -122,7 +129,7 @@ func (h *HomeAgent) D2H(req cxl.D2HReq, addr phys.Addr, data []byte, arrive sim.
 			}
 			return D2HResult{
 				Done:     base + h.p.CXL.HostLLCRead + h.p.CXL.CSReadExtraHit,
-				Data:     cloneLine(line.Data),
+				Data:     h.arena.Clone(line.Data),
 				LLCHit:   true,
 				HMCState: cache.Shared,
 			}
@@ -146,7 +153,7 @@ func (h *HomeAgent) D2H(req cxl.D2HReq, addr phys.Addr, data []byte, arrive sim.
 				st = cache.Modified
 			}
 			_, d, _ := h.llc.Invalidate(addr)
-			payload = cloneLine(d)
+			payload = h.arena.Clone(d)
 			if payload == nil {
 				payload = h.readMem(addr)
 			}
@@ -246,6 +253,9 @@ func (h *HomeAgent) DowngradeToShared(addr phys.Addr, data []byte, arrive sim.Ti
 // with the state it held. The caller (host core model) adds the snoop
 // latency; the device model drops its HMC copy through the DevicePort.
 func (h *HomeAgent) SnoopDevice(addr phys.Addr) (cache.State, bool) {
+	if len(h.dir) == 0 { // no device-held lines: skip the map hash
+		return cache.Invalid, false
+	}
 	addr = phys.LineAddr(addr)
 	st, ok := h.dir[addr]
 	if ok {
@@ -261,16 +271,11 @@ func (h *HomeAgent) Stats() (d2hReads, d2hWrites, backInvals uint64) {
 }
 
 func (h *HomeAgent) readMem(addr phys.Addr) []byte {
-	buf := make([]byte, phys.LineSize)
+	buf := h.arena.Line()
 	h.store.ReadLine(addr, buf)
 	return buf
 }
 
-func cloneLine(d []byte) []byte {
-	if d == nil {
-		return nil
-	}
-	out := make([]byte, len(d))
-	copy(out, d)
-	return out
-}
+// ResetArena rewinds the line-buffer arena; the host calls it from
+// ResetTiming, where no buffer from the previous run is referenced.
+func (h *HomeAgent) ResetArena() { h.arena.Reset() }

@@ -151,7 +151,7 @@ func (d *Device) d2dRead(req cxl.D2HReq, addr phys.Addr, now sim.Time, wantData 
 		}
 		res := Result{Done: t + d.p.Device.DMCRead, DMCHit: true}
 		if wantData {
-			res.Data = cloneLine(line.Data)
+			res.Data = d.arena.Clone(line.Data)
 		}
 		return res
 	}
@@ -165,7 +165,7 @@ func (d *Device) d2dRead(req cxl.D2HReq, addr phys.Addr, now sim.Time, wantData 
 		// so device memory is not consulted functionally at all.
 		return Result{Done: done}
 	}
-	buf := make([]byte, phys.LineSize)
+	buf := d.arena.Line()
 	d.mem.ReadLine(addr, buf)
 	if req == cxl.CSRead || req == cxl.CORead {
 		st := cache.Exclusive // device-bias: no coherence state semantics

@@ -60,7 +60,7 @@ func (d *Device) d2h(req cxl.D2HReq, addr phys.Addr, data []byte, now sim.Time) 
 		// HMC hit: serve locally without any state change (Table III).
 		if hmcHit {
 			d.stats.HMCHits++
-			return Result{Done: t + d.p.Device.HMCRead, Data: cloneLine(line.Data), HMCHit: true}
+			return Result{Done: t + d.p.Device.HMCRead, Data: d.arena.Clone(line.Data), HMCHit: true}
 		}
 		return d.d2hReadRemote(req, addr, t, false)
 
@@ -75,7 +75,7 @@ func (d *Device) d2h(req cxl.D2HReq, addr phys.Addr, data []byte, now sim.Time) 
 				d.home.DowngradeToShared(addr, line.Data, arrive)
 			}
 			line.State = cache.Shared
-			return Result{Done: t + d.p.Device.HMCRead, Data: cloneLine(line.Data), HMCHit: true}
+			return Result{Done: t + d.p.Device.HMCRead, Data: d.arena.Clone(line.Data), HMCHit: true}
 		}
 		return d.d2hReadRemote(req, addr, t, true)
 
@@ -84,7 +84,7 @@ func (d *Device) d2h(req cxl.D2HReq, addr phys.Addr, data []byte, now sim.Time) 
 		// RdOwn (S→E, Table III).
 		if hmcHit && (line.State == cache.Modified || line.State == cache.Exclusive) {
 			d.stats.HMCHits++
-			return Result{Done: t + d.p.Device.HMCRead, Data: cloneLine(line.Data), HMCHit: true}
+			return Result{Done: t + d.p.Device.HMCRead, Data: d.arena.Clone(line.Data), HMCHit: true}
 		}
 		return d.d2hReadRemote(req, addr, t, true)
 
@@ -205,14 +205,6 @@ func (d *Device) WriteHostBlock(req cxl.D2HReq, addr phys.Addr, src []byte, size
 	return last
 }
 
-func cloneLine(d []byte) []byte {
-	if d == nil {
-		return nil
-	}
-	out := make([]byte, len(d))
-	copy(out, d)
-	return out
-}
 
 func setLineData(l *cache.Line, data []byte) {
 	if len(data) != phys.LineSize {

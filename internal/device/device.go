@@ -97,6 +97,11 @@ type Device struct {
 	tracer trace.Tracer
 	stats  Stats
 
+	// arena backs the line buffers the D2H/D2D/H2D paths hand to
+	// callers. Returned data stays valid until the next ResetTiming
+	// (bump allocation, no reuse in between).
+	arena phys.LineArena
+
 	// fault is the planted bug used by the fuzzing harness to validate
 	// that the invariant checkers fire (see fault.go). FaultNone in any
 	// real configuration.
@@ -197,6 +202,8 @@ func (d *Device) ResetTiming() {
 	d.d2dCredits.Reset()
 	d.chs.Reset()
 	d.link.Reset()
+	// Line buffers handed out before the reset are out of contract now.
+	d.arena.Reset()
 }
 
 // ---------- bias management (§IV-B) ----------

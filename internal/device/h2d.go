@@ -132,7 +132,7 @@ func (d *Device) h2d(op cxl.HostOp, addr phys.Addr, data []byte, arrive sim.Time
 		return res
 	}
 	d.stats.DevMemReads++
-	buf := make([]byte, phys.LineSize)
+	buf := d.arena.Line()
 	d.mem.ReadLine(addr, buf)
 	res.Done = t + d.p.DRAM.DDR4Read
 	res.Data = buf

@@ -32,6 +32,23 @@ type flink struct {
 	credits [2]*sim.Credits
 	bytes   [2]uint64
 	ports   [2]*port
+
+	// occN/occT memoize the last wire-occupancy computation: transfers
+	// overwhelmingly repeat the same payload size (KV block or line), and
+	// the float round trip in timing.Serialize shows up on the serving
+	// hot path. Links are driven from a single shard's engine, so a
+	// one-entry cache needs no synchronization.
+	occN int
+	occT sim.Time
+}
+
+// occ returns the wire occupancy of n payload bytes on this link.
+func (l *flink) occ(n int) sim.Time {
+	if n != l.occN {
+		l.occN = n
+		l.occT = timing.Serialize(n, l.spec.BytesPerSec)
+	}
+	return l.occT
 }
 
 func (l *flink) name() string { return l.a + "-" + l.b }
@@ -49,10 +66,6 @@ type port struct {
 	claims   uint64
 	waited   sim.Time
 	peakQ    int
-	// dones holds the sorted wire-completion times of outstanding
-	// transfers (in service or queued), so claim can measure the port's
-	// true instantaneous queue depth.
-	dones []sim.Time
 }
 
 // claim admits a transfer arriving at the port at now; the returned time
@@ -60,14 +73,11 @@ type port struct {
 // switch's store-and-forward latency). release must be called with the
 // transfer's wire completion time.
 func (p *port) claim(now sim.Time) sim.Time {
-	// Retire transfers whose wire time has passed; what remains, plus
-	// this one, is the queue depth an observer would see at the port.
-	i := 0
-	for i < len(p.dones) && p.dones[i] <= now {
-		i++
-	}
-	p.dones = append(p.dones[:0], p.dones[i:]...)
-	if d := len(p.dones) + 1; d > p.peakQ {
+	// Transfers still in flight at now, plus this one, is the queue depth
+	// an observer would see at the port. Credits.InFlightAt answers that
+	// exactly — including slots an exhausted Acquire consumed early — so
+	// the port no longer shadows the pool with its own completion ring.
+	if d := p.credits.InFlightAt(now) + 1; d > p.peakQ {
 		p.peakQ = d
 	}
 	start := p.credits.Acquire(now)
@@ -78,13 +88,6 @@ func (p *port) claim(now sim.Time) sim.Time {
 
 func (p *port) release(done sim.Time) {
 	p.credits.Complete(done)
-	i := len(p.dones)
-	for i > 0 && p.dones[i-1] > done {
-		i--
-	}
-	p.dones = append(p.dones, 0)
-	copy(p.dones[i+1:], p.dones[i:])
-	p.dones[i] = done
 }
 
 // Expander is a compiled switch-attached Type-3 node: pooled memory every
@@ -150,6 +153,26 @@ type Fabric struct {
 	paths     map[[2]string][]pathHop
 
 	hostIDs, expanderIDs []string
+
+	shards *ShardSet
+}
+
+// Option tunes Build beyond topology and timing.
+type Option func(*buildOptions)
+
+type buildOptions struct {
+	shardWorkers int
+}
+
+// Shards enables sharded conservative-PDES execution with up to n worker
+// goroutines (n <= 0 is treated as 1; execution is inline on the calling
+// goroutine at 1). The topology is partitioned structurally — every host
+// becomes its own shard, the switch fabric and expanders form the hub
+// shard, and zero-latency links force co-residency — and ShardSet
+// exposes the per-shard engines and deterministic cross-shard messaging.
+// Whatever n, a run renders byte-identical output (see ShardSet).
+func Shards(n int) Option {
+	return func(o *buildOptions) { o.shardWorkers = n }
 }
 
 // Build validates topo and compiles it into a Fabric under the timing
@@ -158,7 +181,11 @@ type Fabric struct {
 // single-rig experiments always measured); host–switch, switch–switch
 // and switch–expander links compile to fabric links with the LinkSpec's
 // (defaulted) parameters.
-func Build(topo Topology, p *timing.Params) (*Fabric, error) {
+func Build(topo Topology, p *timing.Params, opts ...Option) (*Fabric, error) {
+	var bo buildOptions
+	for _, o := range opts {
+		o(&bo)
+	}
 	if err := topo.Validate(); err != nil {
 		return nil, err
 	}
@@ -246,17 +273,28 @@ func Build(topo Topology, p *timing.Params) (*Fabric, error) {
 			}
 		}
 	}
+	if bo.shardWorkers > 0 {
+		ss, err := newShardSet(f, bo.shardWorkers)
+		if err != nil {
+			return nil, err
+		}
+		f.shards = ss
+	}
 	return f, nil
 }
 
 // MustBuild is Build for static topologies.
-func MustBuild(topo Topology, p *timing.Params) *Fabric {
-	f, err := Build(topo, p)
+func MustBuild(topo Topology, p *timing.Params, opts ...Option) *Fabric {
+	f, err := Build(topo, p, opts...)
 	if err != nil {
 		panic(err)
 	}
 	return f
 }
+
+// ShardSet returns the sharded-execution state, or nil when the fabric
+// was built without the Shards option.
+func (f *Fabric) ShardSet() *ShardSet { return f.shards }
 
 // attach wires a directly-linked CXL device onto its host.
 func (f *Fabric) attach(hostID, devID string, kind NodeKind) error {
@@ -380,7 +418,7 @@ func (f *Fabric) sendHop(h pathHop, n int, now sim.Time) sim.Time {
 		t = p.claim(t)
 	}
 	cstart := h.l.credits[h.d].Acquire(t)
-	occ := timing.Serialize(n, h.l.spec.BytesPerSec)
+	occ := h.l.occ(n)
 	start := h.l.dirs[h.d].Claim(cstart, occ)
 	done := start + occ + h.l.spec.OneWay
 	h.l.credits[h.d].Complete(done)

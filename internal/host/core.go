@@ -80,6 +80,19 @@ type AccessResult struct {
 // addresses take the CXL.mem H2D path; host addresses take the local
 // hierarchy. data supplies the payload for stores.
 func (c *Core) Access(op cxl.HostOp, addr phys.Addr, data []byte, now sim.Time) AccessResult {
+	return c.access(op, addr, data, now, true)
+}
+
+// AccessTiming is Access for callers that discard the returned payload:
+// identical timing and cache/memory state transitions, but no line
+// buffer is materialized for loads. The serving hot paths issue
+// millions of timing-only line ops per run, so skipping the payload is
+// a measurable share of their allocation footprint.
+func (c *Core) AccessTiming(op cxl.HostOp, addr phys.Addr, now sim.Time) sim.Time {
+	return c.access(op, addr, nil, now, false).Done
+}
+
+func (c *Core) access(op cxl.HostOp, addr phys.Addr, data []byte, now sim.Time, wantData bool) AccessResult {
 	kind, ok := c.h.amap.Resolve(addr)
 	if !ok {
 		panic(fmt.Sprintf("host: access to unmapped address %v", addr))
@@ -88,11 +101,11 @@ func (c *Core) Access(op cxl.HostOp, addr phys.Addr, data []byte, now sim.Time) 
 	case mem.KindDevice:
 		return c.accessCXL(op, addr, data, now)
 	case mem.KindHost0:
-		return c.accessLocal(op, addr, data, now, false)
+		return c.accessLocal(op, addr, data, now, false, wantData)
 	case mem.KindHost1:
 		// A socket-0 core reaching socket 1's memory: the same functional
 		// path with the UPI round trip and remote service costs added.
-		return c.accessLocal(op, addr, data, now, true)
+		return c.accessLocal(op, addr, data, now, true, wantData)
 	default:
 		panic(fmt.Sprintf("host: Access cannot target %v; use the pcie package for MMIO", kind))
 	}
@@ -103,7 +116,7 @@ func (c *Core) Access(op cxl.HostOp, addr phys.Addr, data []byte, now sim.Time) 
 // backing store so that device D2H reads always observe the latest data.
 // remote adds the UPI round trip and remote-home service costs (a socket-0
 // core reaching socket-1 memory).
-func (c *Core) accessLocal(op cxl.HostOp, addr phys.Addr, data []byte, now sim.Time, remote bool) AccessResult {
+func (c *Core) accessLocal(op cxl.HostOp, addr phys.Addr, data []byte, now sim.Time, remote, wantData bool) AccessResult {
 	p := c.h.p
 	addr = phys.LineAddr(addr)
 	start := c.issue.Claim(now, p.Host.IssueGap)
@@ -128,7 +141,11 @@ func (c *Core) accessLocal(op cxl.HostOp, addr phys.Addr, data []byte, now sim.T
 			if op == cxl.NtLd {
 				done += p.UPI.NTLoadExtraHit // NT path overhead is socket-local too
 			}
-			return AccessResult{Done: done, Data: cloneLine(line.Data), LLCHit: true}
+			res := AccessResult{Done: done, LLCHit: true}
+			if wantData {
+				res.Data = c.h.arena.Clone(line.Data)
+			}
+			return res
 		}
 		cred := c.loadCred
 		if op == cxl.NtLd {
@@ -137,12 +154,18 @@ func (c *Core) accessLocal(op cxl.HostOp, addr phys.Addr, data []byte, now sim.T
 		s := cred.Acquire(t)
 		done := s + p.DRAM.DDR5Read + remoteExtra
 		cred.Complete(done)
-		buf := make([]byte, phys.LineSize)
-		c.h.stor.ReadLine(addr, buf)
-		if op == cxl.Ld {
-			c.fillLLC(addr, cache.Exclusive, buf)
+		res := AccessResult{Done: done}
+		if wantData || op == cxl.Ld {
+			buf := c.h.arena.Line()
+			c.h.stor.ReadLine(addr, buf)
+			if op == cxl.Ld {
+				c.fillLLC(addr, cache.Exclusive, buf)
+			}
+			if wantData {
+				res.Data = buf
+			}
 		}
-		return AccessResult{Done: done, Data: buf}
+		return res
 
 	case cxl.St:
 		if data != nil {
@@ -211,7 +234,7 @@ func (c *Core) accessCXL(op cxl.HostOp, addr phys.Addr, data []byte, now sim.Tim
 			}
 		}
 		c.cxlLoad.Complete(done)
-		return AccessResult{Done: done, Data: cloneLine(line.Data), LLCHit: true}
+		return AccessResult{Done: done, Data: c.h.arena.Clone(line.Data), LLCHit: true}
 	}
 
 	switch op {
@@ -331,14 +354,6 @@ func (c *Core) CLDemote(addr phys.Addr, st cache.State, data []byte, now sim.Tim
 	return now + c.h.p.Host.CLDemote
 }
 
-func cloneLine(d []byte) []byte {
-	if d == nil {
-		return nil
-	}
-	out := make([]byte, len(d))
-	copy(out, d)
-	return out
-}
 
 func lineSetData(l *cache.Line, data []byte) {
 	if len(data) != phys.LineSize {

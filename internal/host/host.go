@@ -13,6 +13,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/interconnect"
 	"repro/internal/mem"
+	"repro/internal/phys"
 	"repro/internal/timing"
 )
 
@@ -50,6 +51,11 @@ type Host struct {
 	Dev *device.Device
 
 	cores []*Core
+
+	// arena backs the line buffers the access paths hand to callers.
+	// Returned data stays valid until the next ResetTiming (bump
+	// allocation, no reuse in between).
+	arena phys.LineArena
 }
 
 // New builds a host (without a device; call Attach).
@@ -153,4 +159,8 @@ func (h *Host) ResetTiming() {
 	if h.Dev != nil {
 		h.Dev.ResetTiming()
 	}
+	// Line buffers handed out before the reset are out of contract now;
+	// rewind the arenas so long-lived hosts don't accumulate slabs.
+	h.arena.Reset()
+	h.home.ResetArena()
 }

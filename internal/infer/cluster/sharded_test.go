@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"runtime"
+	"testing"
+)
+
+// shardMatrix is the worker-count sweep every byte-identity test runs:
+// inline (the exact sequential schedule), two workers, and one worker
+// per shard up to GOMAXPROCS.
+func shardMatrix() []int {
+	ws := []int{1, 2}
+	if p := runtime.GOMAXPROCS(0); p > 2 {
+		ws = append(ws, p)
+	}
+	return ws
+}
+
+// TestShardedByteIdentity pins the tentpole contract: the rendered
+// metrics of a sharded run are byte-identical to the inline run at
+// every worker count, for each oversubscription regime and router.
+func TestShardedByteIdentity(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"ample", Config{Seed: 11, Replicas: 4, Requests: 48,
+			LocalBlocks: 64, SharedBlocks: 256}},
+		{"oversub", Config{Seed: 11, Replicas: 4, Requests: 48,
+			RatePerSec: 400_000, LocalBlocks: 4, SharedBlocks: 24}},
+		{"tiny-shared", Config{Seed: 21, Replicas: 4, Requests: 32,
+			RatePerSec: 400_000, LocalBlocks: 1, SharedBlocks: 8}},
+		{"least-loaded", Config{Seed: 5, Replicas: 4, Requests: 64,
+			RatePerSec: 400_000, LocalBlocks: 4, SharedBlocks: 24,
+			Router: NewLeastLoaded()}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var want string
+			for _, w := range shardMatrix() {
+				cfg := tc.cfg
+				cfg.Shards = w
+				// Routers are stateful and single-use: fresh one per run.
+				switch tc.cfg.Router.(type) {
+				case nil:
+				case *sessionAffinity:
+					cfg.Router = NewSessionAffinity()
+				case leastLoaded:
+					cfg.Router = NewLeastLoaded()
+				default:
+					cfg.Router = nil
+				}
+				got := render(Run(cfg))
+				if w == 1 {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Fatalf("Shards=%d rendered differently from inline:\n--- inline ---\n%s\n--- %d workers ---\n%s",
+						w, want, w, got)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedStressCrossShardOrdering hammers the cross-shard merge
+// path: a high arrival rate over a tiny shared pool makes every decode
+// step exchange admit/bundle/reply messages while many same-instant
+// fabric completions land at the hub. Several seeds, all worker counts,
+// all byte-identical.
+func TestShardedStressCrossShardOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress sweep")
+	}
+	for _, seed := range []int64{1, 7, 23, 101} {
+		base := Config{
+			Seed: seed, Replicas: 4, Expanders: 2, Requests: 96,
+			RatePerSec: 1_000_000, LocalBlocks: 2, SharedBlocks: 16,
+			MaxBatch: 8,
+		}
+		var want string
+		for _, w := range shardMatrix() {
+			cfg := base
+			cfg.Shards = w
+			got := render(Run(cfg))
+			if w == 1 {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Fatalf("seed %d Shards=%d diverged from inline", seed, w)
+			}
+		}
+	}
+}
+
+// TestShardPartitionShape pins the cluster's partition: the hub shard
+// owns the switch and expanders, each replica host its own shard, and
+// every cross-shard distance is the calibrated link latency (hosts are
+// two hops apart through the hub).
+func TestShardPartitionShape(t *testing.T) {
+	c := New(Config{Replicas: 3, Expanders: 2})
+	ss := c.ss
+	if got := ss.NumShards(); got != 4 {
+		t.Fatalf("NumShards = %d, want 4 (hub + 3 replicas)", got)
+	}
+	if c.hubShard != 0 {
+		t.Fatalf("hub shard = %d, want 0", c.hubShard)
+	}
+	hub := ss.Shard(0).Nodes()
+	if len(hub) != 3 { // sw0 + x0 + x1
+		t.Fatalf("hub owns %v, want switch plus both expanders", hub)
+	}
+	for i, r := range c.reps {
+		if got := ss.NodeShard(r.hostID); got != i+1 {
+			t.Fatalf("host %s on shard %d, want %d", r.hostID, got, i+1)
+		}
+	}
+	oneWay := ss.Dist(0, 1)
+	if oneWay <= 0 {
+		t.Fatalf("hub→replica distance %v, want positive lookahead", oneWay)
+	}
+	if got := ss.Dist(1, 2); got != 2*oneWay {
+		t.Fatalf("replica→replica distance %v, want %v (two hops via hub)", got, 2*oneWay)
+	}
+}

@@ -1,0 +1,73 @@
+package phys
+
+// LineArena bump-allocates cache-line payload buffers for the
+// transaction hot paths (host loads, device D2H/H2D/D2D line moves).
+// Line-sized `make` calls dominate allocation in the serving and figure
+// simulations — one 64-byte object per modeled memory transaction — so
+// the arena carves them out of slab-sized allocations instead: an
+// allocation every slabLines transactions rather than every one, and no
+// per-line GC bookkeeping.
+//
+// It is a bump allocator, not a free list: a handed-out line is never
+// reused until Reset, so callers may retain AccessResult data with the
+// same safety as individually allocated buffers. Reset rewinds (and
+// re-zeroes) the slabs for the next run; owners call it at their timing
+// reset points, where the contract is that no line buffer from the
+// previous run is still referenced.
+type LineArena struct {
+	slabs [][]byte
+	si    int // active slab index
+	off   int // offset into the active slab
+}
+
+// slabLines is the arena granularity: 1024 lines = 64 KiB per slab.
+const slabLines = 1024
+
+// Line returns a zeroed LineSize buffer with full-capacity slice bounds.
+func (a *LineArena) Line() []byte {
+	b := a.raw()
+	clear(b)
+	return b
+}
+
+// raw bump-allocates the next line without zeroing it (reused slab
+// space holds stale bytes from before the last Reset).
+func (a *LineArena) raw() []byte {
+	if a.si == len(a.slabs) {
+		a.slabs = append(a.slabs, make([]byte, slabLines*LineSize))
+	}
+	s := a.slabs[a.si]
+	if a.off+LineSize > len(s) {
+		a.si++
+		a.off = 0
+		return a.raw()
+	}
+	b := s[a.off : a.off+LineSize : a.off+LineSize]
+	a.off += LineSize
+	return b
+}
+
+// Clone returns an arena copy of d (nil in, nil out). d need not be
+// line-sized; anything up to LineSize shares the line granularity.
+func (a *LineArena) Clone(d []byte) []byte {
+	if d == nil {
+		return nil
+	}
+	if len(d) > LineSize {
+		// Outside the arena's granularity — fall back to the heap.
+		out := make([]byte, len(d))
+		copy(out, d)
+		return out
+	}
+	b := a.raw()
+	n := copy(b, d)
+	clear(b[n:]) // keep the tail zero for in-cap reslices
+	return b[:n]
+}
+
+// Reset rewinds the arena for the next run in O(1); Line/Clone zero
+// each buffer as it is handed back out. Buffers handed out before the
+// Reset must no longer be referenced.
+func (a *LineArena) Reset() {
+	a.si, a.off = 0, 0
+}

@@ -1,0 +1,46 @@
+package runner
+
+import "testing"
+
+// TestTryRecruitBounded pins the slot accounting: recruitment is
+// non-blocking, grants at most the free slots, and release returns
+// exactly what was granted.
+func TestTryRecruitBounded(t *testing.T) {
+	c := &Ctx{sem: make(chan struct{}, 3)}
+	// Occupy one slot, as a running worker would.
+	c.sem <- struct{}{}
+
+	got, release := c.TryRecruit(8)
+	if got != 2 {
+		t.Fatalf("TryRecruit(8) with 2 free slots granted %d, want 2", got)
+	}
+	if g2, r2 := c.TryRecruit(1); g2 != 0 {
+		t.Fatalf("TryRecruit on a saturated pool granted %d, want 0", g2)
+	} else {
+		r2()
+	}
+	release()
+	if got, release = c.TryRecruit(1); got != 1 {
+		t.Fatalf("TryRecruit after release granted %d, want 1", got)
+	}
+	release()
+	if len(c.sem) != 1 {
+		t.Fatalf("pool has %d held slots after releases, want the 1 original", len(c.sem))
+	}
+}
+
+// TestTryRecruitSerial pins the serial-mode no-op: no pool, no grants,
+// and the release closure is safe to call.
+func TestTryRecruitSerial(t *testing.T) {
+	c := &Ctx{}
+	got, release := c.TryRecruit(4)
+	if got != 0 {
+		t.Fatalf("serial TryRecruit granted %d, want 0", got)
+	}
+	release()
+	got, release = c.TryRecruit(0)
+	if got != 0 {
+		t.Fatalf("TryRecruit(0) granted %d, want 0", got)
+	}
+	release()
+}

@@ -101,6 +101,15 @@ type Credits struct {
 	// extract-earliest semantics for any call pattern.
 	outstanding []Time
 	head        int
+	// earlyRetired holds completion times that an exhausted Acquire (or
+	// Pipeline step) consumed from the ring before they had actually
+	// expired: the grant `start = q[head]; head++` hands the credit to
+	// the new operation at the instant the old one completes, but the
+	// old operation is still in flight at any earlier instant.
+	// InFlightAt needs those times to answer "how deep is the queue at
+	// now" exactly; the plain InFlight (ring length) cannot see them.
+	// Kept sorted; pruned against Acquire's start like the ring itself.
+	earlyRetired []Time
 }
 
 // NewCredits returns a pool with the given capacity (> 0).
@@ -121,8 +130,36 @@ func (c *Credits) Name() string { return c.name }
 func (c *Credits) Capacity() int { return c.capacity }
 
 // InFlight reports the number of credits currently held (not yet completed
-// relative to the most recent Acquire's start time).
+// relative to the most recent Acquire's start time). Because retirement is
+// lazy — completions leave the ring only when a later Acquire scans past
+// them — this can overcount the operations genuinely outstanding at a
+// given instant; use InFlightAt for an exact point-in-time depth.
 func (c *Credits) InFlight() int { return len(c.outstanding) - c.head }
+
+// InFlightAt reports exactly how many operations are still in flight at
+// `now`: completions strictly after now, including those an exhausted
+// Acquire already consumed from the ring (see earlyRetired). It never
+// mutates pool state, so observers may probe at any time — including
+// times earlier than the latest Acquire — without disturbing grant
+// order.
+func (c *Credits) InFlightAt(now Time) int {
+	// Both lists are sorted: count the suffix strictly after now in each.
+	q := c.outstanding[c.head:]
+	lo, hi := 0, len(q)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if q[mid] <= now {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	n := len(q) - lo
+	for i := len(c.earlyRetired) - 1; i >= 0 && c.earlyRetired[i] > now; i-- {
+		n++
+	}
+	return n
+}
 
 // Acquire obtains a credit for an operation that starts at now and completes
 // at completesAt. If the pool is exhausted, the start is delayed to the
@@ -142,11 +179,17 @@ func (c *Credits) Acquire(now Time) (start Time) {
 		// Pool exhausted. Every remaining completion is strictly after
 		// `start` (the scan above retired the rest), so the earliest one is
 		// the exact moment a credit frees: service is delayed to it, and
-		// consuming it hands that credit to this operation.
+		// consuming it hands that credit to this operation. The consumed
+		// operation remains observable in flight until then.
+		c.recordEarlyRetire(q[h])
 		start = q[h]
 		h++
 	}
 	c.head = h
+	// Drop early-retired entries at or before the requested time — the
+	// same criterion the ring retire scan uses — keeping the list bounded
+	// by the live window.
+	c.pruneEarlyRetired(now)
 	// Reclaim the retired prefix once it dominates the ring: the live window
 	// is at most `capacity` entries, so this keeps the backing array bounded
 	// by ~2x capacity and the copy cost O(1) amortized per operation.
@@ -156,6 +199,45 @@ func (c *Credits) Acquire(now Time) (start Time) {
 		c.head = 0
 	}
 	return start
+}
+
+// recordEarlyRetire notes that an exhausted grant consumed completion
+// time t from the ring before it expired (see earlyRetired). Consumed
+// minima are non-decreasing under monotone issue, so this is almost
+// always an append; the rare out-of-order case binary-inserts.
+func (c *Credits) recordEarlyRetire(t Time) {
+	q := c.earlyRetired
+	n := len(q)
+	if n == 0 || t >= q[n-1] {
+		c.earlyRetired = append(q, t)
+		return
+	}
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if q[mid] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	q = append(q, 0)
+	copy(q[lo+1:], q[lo:])
+	q[lo] = t
+	c.earlyRetired = q
+}
+
+// pruneEarlyRetired drops early-retired completions at or before now.
+func (c *Credits) pruneEarlyRetired(now Time) {
+	q := c.earlyRetired
+	i := 0
+	for i < len(q) && q[i] <= now {
+		i++
+	}
+	if i > 0 {
+		n := copy(q, q[i:])
+		c.earlyRetired = q[:n]
+	}
 }
 
 // Complete records that the operation admitted by a prior Acquire finishes at
@@ -208,6 +290,8 @@ func (c *Credits) Pipeline(t0, dt, svc Time, n int) (lastDone Time) {
 		}
 		start := t
 		if len(q)-h >= c.capacity {
+			c.pruneEarlyRetired(t)
+			c.recordEarlyRetire(q[h])
 			start = q[h]
 			h++
 		}
@@ -242,4 +326,5 @@ func (c *Credits) Pipeline(t0, dt, svc Time, n int) (lastDone Time) {
 func (c *Credits) Reset() {
 	c.outstanding = c.outstanding[:0]
 	c.head = 0
+	c.earlyRetired = c.earlyRetired[:0]
 }
