@@ -1,0 +1,241 @@
+// Command cxlload is the closed-loop load harness for cxlsimd: it paces
+// requests against a running daemon with the workload package's temporal
+// arrival models (flat, diurnal, bursty) and reports what the service
+// actually delivered — achieved RPS, latency percentiles, the cache-tier
+// split (hit-mem / hit-disk / miss / coalesced) and the 429 shed rate —
+// as a BENCH-style JSON document.
+//
+// The arrival process is open-loop (the schedule comes from a seeded
+// Temporal source, deterministic per -seed), but execution is closed-loop:
+// at most -concurrency requests are in flight, and an arrival that finds
+// every slot busy waits for one rather than piling up unbounded goroutines
+// — the same admission discipline a well-behaved client fleet shows.
+//
+// Request mix: section runs rotate through -seeds distinct root seeds, so
+// the first request per seed exercises the full simulation path (miss)
+// and the rest exercise the cache tiers.
+//
+// Usage:
+//
+//	cxlload [-url http://localhost:8437] [-duration 10s] [-pattern flat|diurnal|burst]
+//	        [-rps 20] [-period 30s] [-concurrency 8]
+//	        [-section fig3] [-reps 50] [-seeds 4] [-seed 1] [-o FILE]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+type sample struct {
+	latency time.Duration
+	status  int
+	cache   string
+}
+
+type report struct {
+	Target      string  `json:"target"`
+	Pattern     string  `json:"pattern"`
+	Section     string  `json:"section"`
+	Seed        int64   `json:"seed"`
+	Seeds       int     `json:"seeds"`
+	Concurrency int     `json:"concurrency"`
+	DurationS   float64 `json:"duration_s"`
+	Offered     int     `json:"offered_requests"`
+	Completed   int     `json:"completed_requests"`
+	AchievedRPS float64 `json:"achieved_rps"`
+
+	LatencyMS struct {
+		P50 float64 `json:"p50"`
+		P90 float64 `json:"p90"`
+		P99 float64 `json:"p99"`
+		Max float64 `json:"max"`
+	} `json:"latency_ms"`
+
+	Cache map[string]int `json:"cache"` // by X-Cache value
+
+	Shed struct {
+		Count int     `json:"count"`
+		Rate  float64 `json:"rate"`
+	} `json:"shed_429"`
+
+	Errors int `json:"errors"`
+}
+
+func main() {
+	url := flag.String("url", "http://localhost:8437", "cxlsimd base URL")
+	duration := flag.Duration("duration", 10*time.Second, "load duration")
+	pattern := flag.String("pattern", "flat", "arrival pattern: flat, diurnal or burst")
+	rps := flag.Float64("rps", 20, "peak arrival rate (requests/second)")
+	period := flag.Duration("period", 30*time.Second, "diurnal period (pattern=diurnal/burst)")
+	concurrency := flag.Int("concurrency", 8, "max in-flight requests (closed-loop bound)")
+	section := flag.String("section", "fig3", "section to request")
+	reps := flag.Int("reps", 50, "repetition count per section request")
+	seeds := flag.Int("seeds", 4, "distinct root seeds to rotate through")
+	seed := flag.Int64("seed", 1, "arrival-schedule rng seed")
+	out := flag.String("o", "-", "JSON report destination (- = stdout)")
+	flag.Parse()
+
+	src, err := arrivals(*pattern, *rps, *period)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cxlload:", err)
+		os.Exit(2)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	client := &http.Client{Timeout: 2 * time.Minute}
+	slots := make(chan struct{}, max(1, *concurrency))
+
+	var mu sync.Mutex
+	var samples []sample
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	now := sim.Time(0) // simulated schedule clock, mapped 1:1 onto wall time
+	offered := 0
+	for {
+		gap := src.GapAt(rng, now)
+		if gap == sim.Forever {
+			break
+		}
+		now += gap
+		at := time.Duration(float64(now.Seconds()) * float64(time.Second))
+		if at > *duration {
+			break
+		}
+		time.Sleep(time.Until(start.Add(at)))
+
+		offered++
+		reqSeed := 1 + (offered-1)%max(1, *seeds)
+		slots <- struct{}{} // closed-loop: wait for a free slot
+		wg.Add(1)
+		go func(reqSeed int) {
+			defer wg.Done()
+			defer func() { <-slots }()
+			s := fire(client, *url, *section, *reps, reqSeed)
+			mu.Lock()
+			samples = append(samples, s)
+			mu.Unlock()
+		}(reqSeed)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := summarize(samples, *url, *pattern, *section, *seed, *seeds,
+		cap(slots), elapsed, offered)
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cxlload:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "cxlload:", err)
+		os.Exit(1)
+	}
+}
+
+// arrivals builds the requested arrival source at peak rate rps.
+func arrivals(pattern string, rps float64, period time.Duration) (workload.ArrivalSource, error) {
+	if rps <= 0 {
+		return nil, fmt.Errorf("rps must be positive")
+	}
+	p := sim.Time(period.Seconds() * float64(sim.Second))
+	switch pattern {
+	case "flat":
+		return workload.NewTemporal(workload.FlatRate(rps)), nil
+	case "diurnal", "burst":
+		// A two-anchor day: a valley at 20% of peak opening the period and
+		// the peak at midday, linearly interpolated (and wrapped) between.
+		curve, err := workload.NewRateCurve(p,
+			workload.RatePoint{At: 0, RatePerSec: 0.2 * rps},
+			workload.RatePoint{At: p / 2, RatePerSec: rps},
+		)
+		if err != nil {
+			return nil, err
+		}
+		t := workload.NewTemporal(curve)
+		if pattern == "burst" {
+			// Thundering herds: 4x bursts arriving every ~quarter period,
+			// lasting ~1/20 of it, with a half-rate cooldown lull.
+			t = t.WithBursts(workload.BurstSpec{
+				MeanGap: p / 4, MeanLen: p / 20, Factor: 4,
+				Cooldown: p / 20, CoolFactor: 0.5,
+			})
+		}
+		return t, nil
+	default:
+		return nil, fmt.Errorf("unknown pattern %q (flat, diurnal, burst)", pattern)
+	}
+}
+
+// fire issues one section request and classifies the outcome.
+func fire(client *http.Client, base, section string, reps, seed int) sample {
+	body := fmt.Sprintf(`{"reps":%d,"seed":%d}`, reps, seed)
+	t0 := time.Now()
+	resp, err := client.Post(base+"/v1/sections/"+section, "application/json",
+		strings.NewReader(body))
+	lat := time.Since(t0)
+	if err != nil {
+		return sample{latency: lat, status: 0}
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return sample{latency: lat, status: resp.StatusCode, cache: resp.Header.Get("X-Cache")}
+}
+
+func summarize(samples []sample, url, pattern, section string, seed int64,
+	seeds, concurrency int, elapsed time.Duration, offered int) report {
+	rep := report{
+		Target: url, Pattern: pattern, Section: section,
+		Seed: seed, Seeds: seeds, Concurrency: concurrency,
+		DurationS: elapsed.Seconds(),
+		Offered:   offered, Completed: len(samples),
+		Cache: map[string]int{},
+	}
+	if elapsed > 0 {
+		rep.AchievedRPS = float64(len(samples)) / elapsed.Seconds()
+	}
+	lats := make([]time.Duration, 0, len(samples))
+	for _, s := range samples {
+		switch {
+		case s.status == http.StatusOK:
+			rep.Cache[s.cache]++
+			lats = append(lats, s.latency)
+		case s.status == http.StatusTooManyRequests:
+			rep.Shed.Count++
+		default:
+			rep.Errors++
+		}
+	}
+	if len(samples) > 0 {
+		rep.Shed.Rate = float64(rep.Shed.Count) / float64(len(samples))
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	if n := len(lats); n > 0 {
+		rep.LatencyMS.P50 = ms(lats[n*50/100])
+		rep.LatencyMS.P90 = ms(lats[min(n-1, n*90/100)])
+		rep.LatencyMS.P99 = ms(lats[min(n-1, n*99/100)])
+		rep.LatencyMS.Max = ms(lats[n-1])
+	}
+	return rep
+}

@@ -1,0 +1,273 @@
+// Package dist distributes cxlsimd's job execution across worker
+// processes. The shared-nothing runner makes this natural: every job is
+// self-contained, derives its seed from (root seed, job ID), and results
+// merge in submission order — so a job set executed on N remote workers
+// renders byte-identical output to a serial in-process run, by
+// construction rather than by luck.
+//
+// The wire contract is "jobs by description, results by value": a Spec
+// names a job set (a section, the report, one measurement) that any
+// process holding the same binary re-derives identically; workers run an
+// index subset of that list and return the typed row values gob-encoded.
+// Closures never cross the wire.
+//
+// Topology: one coordinator (the cxlsimd front end) and N workers. Workers
+// register with the coordinator and re-register on a heartbeat interval;
+// the coordinator shards job indices into chunks, keeps a bounded
+// per-worker in-flight window, reassigns chunks when a worker dies
+// mid-run, and falls back to local execution when the fleet is gone — a
+// degraded coordinator is exactly the single-process daemon.
+//
+// Mixed-version fleets are refused at registration and again on every run
+// request: the compatibility token combines the canonical cache-key schema
+// and the wire format, so a worker that would compute differently-keyed
+// (or differently-shaped) results never joins.
+package dist
+
+import (
+	"encoding/base64"
+	"encoding/gob"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	cxl2sim "repro"
+	"repro/internal/experiments"
+	"repro/internal/runner"
+)
+
+// WireVersion is the dist wire-format version. Bump on any change to the
+// request/response encoding.
+const WireVersion = 1
+
+// ProtocolVersion is the compatibility token exchanged at registration and
+// sent with every run request. It folds in the canonical cache-key schema:
+// two processes that would key results differently must never cooperate.
+func ProtocolVersion() string {
+	return fmt.Sprintf("%s/wire%d", experiments.CacheKeyVersion, WireVersion)
+}
+
+// BuildInfo describes the running binary for GET /v1/version: enough for
+// an operator to tell a mixed-version fleet apart at a glance.
+type BuildInfo struct {
+	GoVersion       string `json:"go_version"`
+	Revision        string `json:"revision,omitempty"`
+	Modified        bool   `json:"modified,omitempty"`
+	CacheKeyVersion string `json:"cache_key_version"`
+	DistProtocol    string `json:"dist_protocol"`
+	Mode            string `json:"mode"`
+}
+
+// Build returns the binary's BuildInfo with the given serving mode.
+func Build(mode string) BuildInfo {
+	info := BuildInfo{
+		CacheKeyVersion: experiments.CacheKeyVersion,
+		DistProtocol:    ProtocolVersion(),
+		Mode:            mode,
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		info.GoVersion = bi.GoVersion
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				info.Revision = s.Value
+			case "vcs.modified":
+				info.Modified = s.Value == "true"
+			}
+		}
+	}
+	return info
+}
+
+// Spec describes a job set by reference. BuildJobs is a pure function of
+// the Spec: every process holding the same binary derives the identical
+// job list (same IDs, same order), which is what makes remote execution
+// byte-identical to local execution.
+type Spec struct {
+	// Kind selects the enumeration: "section", "report" or "measure".
+	Kind string `json:"kind"`
+	// Section names the experiment section (Kind == "section").
+	Section string `json:"section,omitempty"`
+	// Reps is the repetition count (sections and the report).
+	Reps int `json:"reps,omitempty"`
+	// Full includes the Fig. 8 co-simulations (Kind == "report").
+	Full bool `json:"full,omitempty"`
+	// TraceB64 is a base64 workload trace replayed by the infer section.
+	TraceB64 string `json:"trace,omitempty"`
+	// Measure carries one §V measurement (Kind == "measure").
+	Measure *MeasureParams `json:"measure,omitempty"`
+}
+
+// MeasureParams is the wire form of one microbenchmark measurement — the
+// already-validated fields of the service's /v1/measure request.
+type MeasureParams struct {
+	MeasureKind string `json:"measure_kind"` // d2h / d2d / h2d
+	Op          string `json:"op"`
+	Place       string `json:"place"`
+	Reps        int    `json:"reps"`
+	Burst       int    `json:"burst"`
+	DeviceType  int    `json:"device_type,omitempty"`
+	LLCBytes    int    `json:"llc_bytes,omitempty"`
+	LLCWays     int    `json:"llc_ways,omitempty"`
+	Cores       int    `json:"cores,omitempty"`
+	SNC         bool   `json:"snc,omitempty"`
+}
+
+// BuildJobs re-derives the job list a Spec describes.
+func (sp Spec) BuildJobs() ([]runner.Job, error) {
+	switch sp.Kind {
+	case "section":
+		if sp.TraceB64 != "" {
+			if sp.Section != "infer" {
+				return nil, fmt.Errorf("dist: section %q does not support trace replay", sp.Section)
+			}
+			raw, err := base64.StdEncoding.DecodeString(sp.TraceB64)
+			if err != nil {
+				return nil, fmt.Errorf("dist: trace: %w", err)
+			}
+			t, err := cxl2sim.DecodeWorkloadTrace(raw)
+			if err != nil {
+				return nil, fmt.Errorf("dist: trace: %w", err)
+			}
+			if err := t.Validate(); err != nil {
+				return nil, fmt.Errorf("dist: trace: %w", err)
+			}
+			return cxl2sim.InferSectionTrace(sp.Reps, t).Jobs, nil
+		}
+		secs := cxl2sim.ExperimentSections(sp.Reps)
+		sec, ok := cxl2sim.ExperimentSectionByName(secs, sp.Section)
+		if !ok {
+			return nil, fmt.Errorf("dist: unknown section %q", sp.Section)
+		}
+		return sec.Jobs, nil
+	case "report":
+		return cxl2sim.ReportJobs(cxl2sim.ReportOptions{Reps: sp.Reps, Full: sp.Full}), nil
+	case "measure":
+		m := sp.Measure
+		if m == nil {
+			return nil, fmt.Errorf("dist: measure spec without parameters")
+		}
+		place, ok := cxl2sim.PlacementNames[m.Place]
+		if !ok {
+			return nil, fmt.Errorf("dist: unknown place %q", m.Place)
+		}
+		cfg := cxl2sim.Config{
+			DeviceType: cxl2sim.DeviceType(m.DeviceType),
+			LLCBytes:   m.LLCBytes, LLCWays: m.LLCWays, Cores: m.Cores, SNC: m.SNC,
+		}
+		spec := cxl2sim.MeasureSpec{Reps: m.Reps, Burst: m.Burst, Place: place}
+		id := fmt.Sprintf("measure/%s/%s", m.MeasureKind, m.Op)
+		switch m.MeasureKind {
+		case "d2h", "d2d":
+			op, ok := cxl2sim.D2HOpNames[m.Op]
+			if !ok {
+				return nil, fmt.Errorf("dist: unknown %s op %q", m.MeasureKind, m.Op)
+			}
+			if m.MeasureKind == "d2h" {
+				return []runner.Job{cxl2sim.MeasureD2HJob(id, cfg, op, spec)}, nil
+			}
+			return []runner.Job{cxl2sim.MeasureD2DJob(id, cfg, op, spec)}, nil
+		case "h2d":
+			op, ok := cxl2sim.HostOpNames[m.Op]
+			if !ok {
+				return nil, fmt.Errorf("dist: unknown h2d op %q", m.Op)
+			}
+			return []runner.Job{cxl2sim.MeasureH2DJob(id, cfg, op, spec)}, nil
+		default:
+			return nil, fmt.Errorf("dist: unknown measure kind %q", m.MeasureKind)
+		}
+	default:
+		return nil, fmt.Errorf("dist: unknown spec kind %q", sp.Kind)
+	}
+}
+
+// ---- wire types ------------------------------------------------------
+
+// registration is the register/heartbeat body (JSON).
+type registration struct {
+	Addr    string `json:"addr"`    // dialable host:port of the worker
+	Version string `json:"version"` // ProtocolVersion()
+}
+
+// runRequest asks a worker to execute an index subset of a Spec's job
+// list (JSON; the trace rides base64 inside the Spec).
+type runRequest struct {
+	Version string `json:"version"`
+	Spec    Spec   `json:"spec"`
+	Indices []int  `json:"indices"`
+	Seed    int64  `json:"seed"`
+}
+
+// wireResult is one job outcome in transit. Value carries the job's typed
+// rows through gob (concrete types registered below); errors travel as
+// strings plus the runner's classification flags.
+type wireResult struct {
+	ID        string
+	Index     int
+	Value     any
+	Err       string
+	Panicked  bool
+	Cancelled bool
+	Wall      time.Duration
+	Events    uint64
+}
+
+// runResponse is the gob-encoded worker reply.
+type runResponse struct {
+	Results []wireResult
+}
+
+// toWire converts runner results for transport.
+func toWire(results []runner.Result) []wireResult {
+	out := make([]wireResult, len(results))
+	for i, r := range results {
+		w := wireResult{
+			ID: r.ID, Index: r.Index, Value: r.Value,
+			Panicked: r.Panicked, Cancelled: r.Cancelled,
+			Wall: r.Wall, Events: r.Events,
+		}
+		if r.Err != nil {
+			w.Err = r.Err.Error()
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// fromWire reconstructs runner results, re-mapping each onto its original
+// submission index (the worker ran a subset; Index says which slot of the
+// full job list the result fills).
+func fromWire(in []wireResult) []runner.Result {
+	out := make([]runner.Result, len(in))
+	for i, w := range in {
+		r := runner.Result{
+			ID: w.ID, Index: w.Index, Value: w.Value,
+			Panicked: w.Panicked, Cancelled: w.Cancelled,
+			Wall: w.Wall, Events: w.Events,
+		}
+		if w.Err != "" {
+			r.Err = fmt.Errorf("%s", w.Err)
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// The gob registry of every concrete Value type a job can return. Both
+// sides are the same binary, so registration is symmetric by construction;
+// a new section must add its row type here before it can be distributed
+// (TestEverySectionDistributes pins this).
+func init() {
+	gob.Register([]experiments.Table3Row{})
+	gob.Register([]experiments.Fig3Row{})
+	gob.Register([]experiments.Fig4Row{})
+	gob.Register([]experiments.Fig5Row{})
+	gob.Register([]experiments.Fig6Row{})
+	gob.Register([]experiments.Table4Row{})
+	gob.Register([]experiments.WriteQueueRow{})
+	gob.Register([]experiments.InferRow{})
+	gob.Register([]experiments.WorkloadRow{})
+	gob.Register([]experiments.ClusterRow{})
+	gob.Register([]experiments.Fig8Row{})
+	gob.Register(cxl2sim.Measurement{})
+}

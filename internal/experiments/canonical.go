@@ -9,6 +9,16 @@ import "fmt"
 // byte-identical output for any pool size, which is precisely what makes
 // cached section output safe to share between requests.
 
+// CacheKeyVersion names the canonical key schema. It is the "v1" prefix
+// every key below carries, surfaced as a constant so the serving layer can
+// advertise it (GET /v1/version), the distributed protocol can refuse
+// mixed-version peers, and the durable result store can fold it into its
+// on-disk paths — a key-schema change then lands in a fresh directory
+// instead of aliasing stale entries. Bump it whenever the meaning of an
+// existing key changes (renamed sections, reinterpreted fields); purely
+// additive key components do not require a bump because they cannot alias.
+const CacheKeyVersion = "v1"
+
 // SectionKey is the canonical cache key for rendering the named section
 // at the given repetition count, root seed and output format ("text" or
 // "json").

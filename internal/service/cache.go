@@ -25,21 +25,34 @@ type cached struct {
 
 func (c cached) cost() int64 { return int64(len(c.key) + len(c.body)) }
 
-// cacheStats is a point-in-time counter snapshot.
+// cacheStats is a point-in-time counter snapshot across both cache
+// tiers: the in-memory LRU (Hits/Misses/...) and, when a durable store is
+// configured, the on-disk tier (Disk*). A memory miss consults the disk
+// tier before running anything, so Misses counts lookups that left memory
+// and DiskHits the subset rescued from disk.
 type cacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
 	Entries   int    `json:"entries"`
 	Bytes     int64  `json:"bytes"`
+
+	DiskHits      uint64 `json:"disk_hits"`
+	DiskMisses    uint64 `json:"disk_misses"`
+	DiskPuts      uint64 `json:"disk_puts"`
+	DiskEvictions uint64 `json:"disk_evictions"`
+	DiskCorrupt   uint64 `json:"disk_corrupt"`
+	DiskEntries   int    `json:"disk_entries"`
+	DiskBytes     int64  `json:"disk_bytes"`
 }
 
-// hitRate is hits/(hits+misses), or 0 before the first lookup.
+// hitRate is served-from-cache (either tier) over lookups, or 0 before
+// the first lookup. Without a disk tier this reduces to hits/(hits+misses).
 func (s cacheStats) hitRate() float64 {
 	if s.Hits+s.Misses == 0 {
 		return 0
 	}
-	return float64(s.Hits) / float64(s.Hits+s.Misses)
+	return float64(s.Hits+s.DiskHits) / float64(s.Hits+s.Misses)
 }
 
 // resultCache is the LRU store.
@@ -138,7 +151,14 @@ func newFlightGroup() *flightGroup {
 
 // do runs fn once per key among concurrent callers. The bool reports
 // whether this caller was the leader. A waiting follower whose ctx ends
-// first returns its ctx error without cancelling the leader.
+// first returns its ctx error without cancelling the leader (and gives up
+// its waiter slot, so the gauge never counts ghosts).
+//
+// The leader's cleanup is deferred: if fn panics, the map entry is still
+// removed and the done channel still closed, so followers wake with
+// errLeaderPanicked instead of hanging forever on a poisoned key, and the
+// next request for the key elects a fresh leader. The panic itself keeps
+// propagating to the caller.
 func (g *flightGroup) do(key string, wait <-chan struct{}, fn func() (cached, error)) (cached, error, bool) {
 	g.mu.Lock()
 	if call, ok := g.calls[key]; ok {
@@ -148,6 +168,9 @@ func (g *flightGroup) do(key string, wait <-chan struct{}, fn func() (cached, er
 		case <-call.done:
 			return call.resp, call.err, false
 		case <-wait:
+			g.mu.Lock()
+			call.waiters--
+			g.mu.Unlock()
 			return cached{}, errFollowerGone, false
 		}
 	}
@@ -155,13 +178,37 @@ func (g *flightGroup) do(key string, wait <-chan struct{}, fn func() (cached, er
 	g.calls[key] = call
 	g.mu.Unlock()
 
+	completed := false
+	defer func() {
+		if !completed {
+			call.resp, call.err = cached{}, errLeaderPanicked
+		}
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(call.done)
+	}()
 	call.resp, call.err = fn()
-	g.mu.Lock()
-	delete(g.calls, key)
-	g.mu.Unlock()
-	close(call.done)
+	completed = true
 	return call.resp, call.err, true
+}
+
+// waiters reports how many followers are currently coalesced behind
+// in-flight leaders — the /metrics gauge that would have exposed a waiter
+// leak.
+func (g *flightGroup) waiters() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, call := range g.calls {
+		n += call.waiters
+	}
+	return n
 }
 
 // errFollowerGone marks a coalesced follower that stopped waiting.
 var errFollowerGone = fmt.Errorf("service: request abandoned while coalesced")
+
+// errLeaderPanicked is what followers receive when their leader's run
+// panicked out of flightGroup.do.
+var errLeaderPanicked = fmt.Errorf("service: coalesced leader panicked")

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -147,4 +148,130 @@ func TestFlightGroupCoalesces(t *testing.T) {
 	if calls != 1 {
 		t.Fatalf("fn ran %d times, want 1", calls)
 	}
+}
+
+// TestFlightLeaderPanicUnblocksFollowers is the regression test for the
+// coalescing audit: a leader whose run function panicked used to leave
+// the key's map entry in place with an unclosed done channel — every
+// coalesced follower hung forever and the key was poisoned for all future
+// requests. The deferred cleanup now wakes followers with
+// errLeaderPanicked and the next request elects a fresh leader.
+func TestFlightLeaderPanicUnblocksFollowers(t *testing.T) {
+	g := newFlightGroup()
+	const key = "panicky"
+
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if recover() == nil {
+				t.Error("leader's panic did not propagate to its caller")
+			}
+		}()
+		_, _, _ = g.do(key, nil, func() (cached, error) {
+			<-release
+			panic("simulated leader crash")
+		})
+	}()
+	waitFor(t, func() bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		_, ok := g.calls[key]
+		return ok
+	})
+
+	const followers = 3
+	errs := make(chan error, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err, leader := g.do(key, nil, func() (cached, error) {
+				t.Error("second leader elected while the first was in flight")
+				return cached{}, nil
+			})
+			if leader {
+				err = nil // fn flags the real failure mode above
+			}
+			errs <- err
+		}()
+	}
+	waitFor(t, func() bool { return g.waiters() == followers })
+	close(release)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil && !errors.Is(err, errLeaderPanicked) {
+			t.Fatalf("follower got %v, want errLeaderPanicked", err)
+		}
+	}
+
+	// The key must not be poisoned: a fresh request leads and completes.
+	resp, err, leader := g.do(key, nil, func() (cached, error) {
+		return cached{body: []byte("recovered")}, nil
+	})
+	if err != nil || !leader || string(resp.body) != "recovered" {
+		t.Fatalf("key poisoned after leader panic: resp=%q err=%v leader=%v", resp.body, err, leader)
+	}
+	if n := g.waiters(); n != 0 {
+		t.Fatalf("waiters gauge = %d after all calls finished, want 0", n)
+	}
+}
+
+// TestFlightAbandonedFollowerReleasesWaiterSlot is the second half of the
+// audit: a follower whose request context ends while coalesced must give
+// its waiter slot back — the counter was previously incremented but never
+// decremented, so the gauge would only ever grow.
+func TestFlightAbandonedFollowerReleasesWaiterSlot(t *testing.T) {
+	g := newFlightGroup()
+	const key = "slow"
+
+	release := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		_, _, _ = g.do(key, nil, func() (cached, error) {
+			<-release
+			return cached{body: []byte("done")}, nil
+		})
+	}()
+	waitFor(t, func() bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		_, ok := g.calls[key]
+		return ok
+	})
+
+	gone := make(chan struct{})
+	abandoned := make(chan error, 1)
+	go func() {
+		_, err, _ := g.do(key, gone, func() (cached, error) {
+			return cached{}, fmt.Errorf("must not run")
+		})
+		abandoned <- err
+	}()
+	staying := make(chan error, 1)
+	go func() {
+		_, err, _ := g.do(key, nil, func() (cached, error) {
+			return cached{}, fmt.Errorf("must not run")
+		})
+		staying <- err
+	}()
+
+	waitFor(t, func() bool { return g.waiters() == 2 })
+	close(gone)
+	if err := <-abandoned; !errors.Is(err, errFollowerGone) {
+		t.Fatalf("abandoned follower got %v, want errFollowerGone", err)
+	}
+	// The leak this test pins down: the gauge used to stay at 2 here.
+	waitFor(t, func() bool { return g.waiters() == 1 })
+
+	close(release)
+	if err := <-staying; err != nil {
+		t.Fatalf("patient follower got %v", err)
+	}
+	<-leaderDone
+	waitFor(t, func() bool { return g.waiters() == 0 })
 }

@@ -15,17 +15,22 @@ import (
 	"time"
 
 	cxl2sim "repro"
-	cxlpkg "repro/internal/cxl"
+	"repro/internal/dist"
 	"repro/internal/experiments"
+	"repro/internal/store"
 )
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
 	s.mux.HandleFunc("GET /v1/sections", s.handleSectionsList)
 	s.mux.HandleFunc("POST /v1/sections/{name}", s.handleSectionRun)
 	s.mux.HandleFunc("POST /v1/measure", s.handleMeasure)
 	s.mux.HandleFunc("GET /v1/report", s.handleReport)
+	if s.cfg.Coordinator != nil {
+		s.cfg.Coordinator.Routes(s.mux)
+	}
 }
 
 // httpError carries a specific status code out of a run function.
@@ -59,8 +64,19 @@ func (s *Server) runCached(w http.ResponseWriter, r *http.Request, key, label st
 		return
 	}
 	if resp, ok := s.cache.get(key); ok {
-		s.serveCached(w, resp, "HIT")
+		s.serveCached(w, resp, "hit-mem")
 		return
+	}
+	// Memory missed; the durable store may still have the bytes from a
+	// previous process (or a sibling replica on the same directory). A disk
+	// hit is promoted into memory so the next request is a hit-mem.
+	if s.store != nil {
+		if e, ok := s.store.Get(key); ok {
+			resp := cached{key: e.Key, body: e.Body, contentType: e.ContentType, status: e.Status}
+			s.cache.put(resp)
+			s.serveCached(w, resp, "hit-disk")
+			return
+		}
 	}
 	resp, err, leader := s.flight.do(key, r.Context().Done(), func() (cached, error) {
 		if err := s.queue.acquire(r.Context()); err != nil {
@@ -80,15 +96,21 @@ func (s *Server) runCached(w http.ResponseWriter, r *http.Request, key, label st
 			resp.status = http.StatusOK
 		}
 		s.cache.put(resp)
+		if s.store != nil {
+			_ = s.store.Put(store.Entry{
+				Key: resp.key, Body: resp.body,
+				ContentType: resp.contentType, Status: resp.status,
+			})
+		}
 		return resp, nil
 	})
 	if err != nil {
 		s.writeRunError(w, err)
 		return
 	}
-	source := "COALESCED"
+	source := "coalesced"
 	if leader {
-		source = "MISS"
+		source = "miss"
 	}
 	s.serveCached(w, resp, source)
 }
@@ -144,7 +166,7 @@ type healthzResponse struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	cs := s.cache.snapshot()
+	cs := s.cacheSnapshot()
 	resp := healthzResponse{
 		Status:       "ok",
 		QueueDepth:   s.queue.depth(),
@@ -162,7 +184,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.write(w, s.queue, s.cache, s.draining.Load())
+	s.metrics.write(w, s.queue, s.cacheSnapshot(), s.store != nil,
+		s.flight.waiters(), s.cfg.Coordinator, s.draining.Load())
+}
+
+// handleVersion reports the binary's build and compatibility info: the
+// canonical cache-key schema and the dist protocol token a mixed-version
+// fleet is refused by.
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	mode := "standalone"
+	if s.cfg.Coordinator != nil {
+		mode = "coordinator"
+	}
+	writeJSON(w, http.StatusOK, dist.Build(mode))
 }
 
 // ---- GET /v1/sections ------------------------------------------------
@@ -257,10 +291,9 @@ func (s *Server) handleSectionRun(w http.ResponseWriter, r *http.Request) {
 		sec = cxl2sim.InferSectionTrace(req.Reps, t)
 		key = cxl2sim.SectionTraceKey(name, req.Reps, req.Seed, req.Format, t)
 	}
+	spec := dist.Spec{Kind: "section", Section: name, Reps: req.Reps, TraceB64: req.Trace}
 	s.runCached(w, r, key, "section/"+name, func(ctx context.Context) (cached, error) {
-		results := cxl2sim.RunJobs(sec.Jobs, cxl2sim.JobOptions{
-			Workers: s.cfg.Workers, RootSeed: req.Seed, Context: ctx,
-		})
+		results := s.runJobs(ctx, spec, sec.Jobs, req.Seed)
 		if err := s.checkRun(ctx, results); err != nil {
 			return cached{}, err
 		}
@@ -366,19 +399,15 @@ type measureRequest struct {
 	Config measureConfig `json:"config"`
 }
 
-var d2hOps = map[string]cxlpkg.D2HReq{
-	"NC-P": cxlpkg.NCP, "NC-rd": cxlpkg.NCRead, "NC-wr": cxlpkg.NCWrite,
-	"CO-rd": cxlpkg.CORead, "CO-wr": cxlpkg.COWrite, "CS-rd": cxlpkg.CSRead,
-}
-
-var hostOps = map[string]cxlpkg.HostOp{
-	"ld": cxlpkg.Ld, "nt-ld": cxlpkg.NtLd, "st": cxlpkg.St, "nt-st": cxlpkg.NtSt,
-}
-
-var placements = map[string]cxl2sim.Placement{
-	"cold": cxl2sim.PlaceCold, "LLC-1": cxl2sim.PlaceLLC,
-	"HMC-1": cxl2sim.PlaceHMC, "DMC-1": cxl2sim.PlaceDMC,
-}
+// The op and placement vocabularies live in the root package (names.go)
+// so the service, the dist workers and the CLI parse the §V names
+// identically — a distributed measure job must build the same job ID on
+// every process.
+var (
+	d2hOps     = cxl2sim.D2HOpNames
+	hostOps    = cxl2sim.HostOpNames
+	placements = cxl2sim.PlacementNames
+)
 
 type measureResponse struct {
 	Kind         string  `json:"kind"`
@@ -447,10 +476,14 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 
 	key := fmt.Sprintf("v1/measure|%s|%s|%s|reps=%d|burst=%d|seed=%d|%s",
 		req.Kind, req.Op, req.Place, req.Reps, req.Burst, req.Seed, cfg.CanonicalKey())
+	dspec := dist.Spec{Kind: "measure", Measure: &dist.MeasureParams{
+		MeasureKind: req.Kind, Op: req.Op, Place: req.Place,
+		Reps: req.Reps, Burst: req.Burst,
+		DeviceType: int(cfg.DeviceType), LLCBytes: cfg.LLCBytes,
+		LLCWays: cfg.LLCWays, Cores: cfg.Cores, SNC: cfg.SNC,
+	}}
 	s.runCached(w, r, key, "measure", func(ctx context.Context) (cached, error) {
-		results := cxl2sim.RunJobs([]cxl2sim.Job{job}, cxl2sim.JobOptions{
-			Workers: 1, RootSeed: req.Seed, Context: ctx,
-		})
+		results := s.runJobs(ctx, dspec, []cxl2sim.Job{job}, req.Seed)
 		if err := s.checkRun(ctx, results); err != nil {
 			if results[0].Err != nil && !results[0].Panicked && !results[0].Cancelled {
 				// A plain job error on this endpoint is a bad measurement
@@ -527,15 +560,18 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := experiments.ReportKey(reps, full, seed)
+	opts := cxl2sim.ReportOptions{Reps: reps, Full: full}
+	spec := dist.Spec{Kind: "report", Reps: reps, Full: full}
 	s.runCached(w, r, key, "report", func(ctx context.Context) (cached, error) {
-		var buf bytes.Buffer
-		results, err := cxl2sim.WriteReportOpts(&buf, cxl2sim.ReportOptions{
-			Reps: reps, Full: full, Workers: s.cfg.Workers, RootSeed: seed, Context: ctx,
-		})
+		// Enumeration and rendering stay local; only execution is
+		// distributable. The job list a worker re-derives from the spec is
+		// identical to this one, so results merge back by index.
+		results := s.runJobs(ctx, spec, cxl2sim.ReportJobs(opts), seed)
 		if cerr := s.checkRun(ctx, results); cerr != nil {
 			return cached{}, cerr
 		}
-		if err != nil {
+		var buf bytes.Buffer
+		if err := cxl2sim.RenderReport(&buf, opts, results); err != nil {
 			return cached{}, err
 		}
 		return cached{body: buf.Bytes(), contentType: "text/markdown; charset=utf-8"}, nil

@@ -28,6 +28,11 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	cxl2sim "repro"
+	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/store"
 )
 
 // Config shapes a Server. Zero values take the noted defaults.
@@ -54,6 +59,18 @@ type Config struct {
 	// (default 0: each endpoint keeps its CLI default — 1000 for
 	// sections and measurements, 400 for the report).
 	DefaultReps int
+	// StoreDir, when set, layers a content-addressed durable result store
+	// under the in-memory cache: rendered responses survive restarts and
+	// are shared between replicas pointing at the same directory. Empty
+	// keeps the cache memory-only.
+	StoreDir string
+	// StoreBytes bounds the durable store (default 256 MiB); GC evicts
+	// least-recently-accessed entries beyond it.
+	StoreBytes int64
+	// Coordinator, when set, runs simulations across its registered dist
+	// workers instead of in-process, and mounts the /dist/v1 control
+	// endpoints. Byte output is identical either way.
+	Coordinator *dist.Coordinator
 	// Log receives request and lifecycle lines; nil logs to stderr.
 	Log *log.Logger
 }
@@ -91,6 +108,7 @@ type Server struct {
 	cfg      Config
 	queue    *queue
 	cache    *resultCache
+	store    *store.Store // nil when StoreDir is unset
 	flight   *flightGroup
 	metrics  *metrics
 	mux      *http.ServeMux
@@ -103,8 +121,9 @@ type Server struct {
 	cancelBase context.CancelFunc
 }
 
-// New builds a Server from cfg (zero values take defaults).
-func New(cfg Config) *Server {
+// New builds a Server from cfg (zero values take defaults). It fails only
+// when a configured durable store directory cannot be prepared.
+func New(cfg Config) (*Server, error) {
 	cfg.setDefaults()
 	s := &Server{
 		cfg:     cfg,
@@ -114,6 +133,19 @@ func New(cfg Config) *Server {
 		metrics: newMetrics(),
 		mux:     http.NewServeMux(),
 	}
+	if cfg.StoreDir != "" {
+		// The canonical key version joins the on-disk path, so entries
+		// written under an older key schema can never alias a new one.
+		st, err := store.Open(store.Config{
+			Dir:        cfg.StoreDir,
+			MaxBytes:   cfg.StoreBytes,
+			KeyVersion: experiments.CacheKeyVersion,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("service: durable store: %w", err)
+		}
+		s.store = st
+	}
 	s.base, s.cancelBase = context.WithCancel(context.Background())
 	s.routes()
 	s.http = &http.Server{
@@ -121,7 +153,43 @@ func New(cfg Config) *Server {
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	return s, nil
+}
+
+// MustNew is New for callers with a known-good config (tests, examples);
+// it panics on error.
+func MustNew(cfg Config) *Server {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return s
+}
+
+// runJobs is the execution seam every endpoint goes through: in-process
+// via the runner by default, across the dist worker fleet when a
+// coordinator is configured. Both paths derive per-job seeds from
+// (rootSeed, job ID) and merge results in submission order, so the
+// rendered bytes — and therefore the cache keys — are identical.
+func (s *Server) runJobs(ctx context.Context, spec dist.Spec, jobs []cxl2sim.Job, rootSeed int64) []cxl2sim.JobResult {
+	if s.cfg.Coordinator != nil {
+		return s.cfg.Coordinator.Run(ctx, spec, jobs, cxl2sim.JobOptions{RootSeed: rootSeed, Context: ctx})
+	}
+	return cxl2sim.RunJobs(jobs, cxl2sim.JobOptions{
+		Workers: s.cfg.Workers, RootSeed: rootSeed, Context: ctx,
+	})
+}
+
+// cacheSnapshot merges both cache tiers into one stats view.
+func (s *Server) cacheSnapshot() cacheStats {
+	cs := s.cache.snapshot()
+	if s.store != nil {
+		ds := s.store.Snapshot()
+		cs.DiskHits, cs.DiskMisses, cs.DiskPuts = ds.Hits, ds.Misses, ds.Puts
+		cs.DiskEvictions, cs.DiskCorrupt = ds.Evictions, ds.Corrupt
+		cs.DiskEntries, cs.DiskBytes = ds.Entries, ds.Bytes
+	}
+	return cs
 }
 
 // Handler returns the full handler tree (request accounting included) —

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	cxl2sim "repro"
+	"repro/internal/dist"
 )
 
 // testReps keeps runs fast while still exercising the real experiment
@@ -25,7 +26,7 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	if cfg.Workers == 0 {
 		cfg.Workers = 2
 	}
-	s := New(cfg)
+	s := MustNew(cfg)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -114,16 +115,16 @@ func TestSectionDeterminismAndCacheHit(t *testing.T) {
 	if resp1.StatusCode != http.StatusOK {
 		t.Fatalf("first: %d %s", resp1.StatusCode, b1)
 	}
-	if got := resp1.Header.Get("X-Cache"); got != "MISS" {
-		t.Fatalf("first X-Cache = %q, want MISS", got)
+	if got := resp1.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("first X-Cache = %q, want miss", got)
 	}
 
 	resp2, b2 := post(t, ts.URL+"/v1/sections/fig3", body)
 	if resp2.StatusCode != http.StatusOK {
 		t.Fatalf("second: %d %s", resp2.StatusCode, b2)
 	}
-	if got := resp2.Header.Get("X-Cache"); got != "HIT" {
-		t.Fatalf("second X-Cache = %q, want HIT", got)
+	if got := resp2.Header.Get("X-Cache"); got != "hit-mem" {
+		t.Fatalf("second X-Cache = %q, want hit-mem", got)
 	}
 	if !bytes.Equal(b1, b2) {
 		t.Fatalf("bodies differ:\n%s\n----\n%s", b1, b2)
@@ -167,12 +168,12 @@ func TestInferSectionCacheHit(t *testing.T) {
 	if resp1.StatusCode != http.StatusOK {
 		t.Fatalf("first: %d %s", resp1.StatusCode, b1)
 	}
-	if got := resp1.Header.Get("X-Cache"); got != "MISS" {
-		t.Fatalf("first X-Cache = %q, want MISS", got)
+	if got := resp1.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("first X-Cache = %q, want miss", got)
 	}
 	resp2, b2 := post(t, ts.URL+"/v1/sections/infer", body)
-	if got := resp2.Header.Get("X-Cache"); got != "HIT" {
-		t.Fatalf("second X-Cache = %q, want HIT", got)
+	if got := resp2.Header.Get("X-Cache"); got != "hit-mem" {
+		t.Fatalf("second X-Cache = %q, want hit-mem", got)
 	}
 	if !bytes.Equal(b1, b2) {
 		t.Fatalf("cached body differs:\n%s\n----\n%s", b1, b2)
@@ -213,15 +214,15 @@ func TestInferSectionTraceReplay(t *testing.T) {
 	if resp1.StatusCode != http.StatusOK {
 		t.Fatalf("replay: %d %s", resp1.StatusCode, b1)
 	}
-	if got := resp1.Header.Get("X-Cache"); got != "MISS" {
-		t.Fatalf("replay after live X-Cache = %q, want MISS (trace key is distinct)", got)
+	if got := resp1.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("replay after live X-Cache = %q, want miss (trace key is distinct)", got)
 	}
 	if !bytes.Equal(b1, bLive) {
 		t.Fatalf("replayed bytes differ from live generation:\n%s\n----\n%s", b1, bLive)
 	}
 	resp2, b2 := post(t, ts.URL+"/v1/sections/infer", replay)
-	if got := resp2.Header.Get("X-Cache"); got != "HIT" {
-		t.Fatalf("second replay X-Cache = %q, want HIT", got)
+	if got := resp2.Header.Get("X-Cache"); got != "hit-mem" {
+		t.Fatalf("second replay X-Cache = %q, want hit-mem", got)
 	}
 	if !bytes.Equal(b1, b2) {
 		t.Fatalf("cached replay body differs")
@@ -264,8 +265,8 @@ func TestSectionJSONFormat(t *testing.T) {
 	}
 
 	respText, _ := post(t, ts.URL+"/v1/sections/table3", fmt.Sprintf(`{"reps":%d}`, testReps))
-	if got := respText.Header.Get("X-Cache"); got != "MISS" {
-		t.Fatalf("text after json X-Cache = %q, want MISS (distinct key)", got)
+	if got := respText.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("text after json X-Cache = %q, want miss (distinct key)", got)
 	}
 }
 
@@ -308,8 +309,8 @@ func TestMeasureEndpoint(t *testing.T) {
 	}
 
 	resp2, b2 := post(t, ts.URL+"/v1/measure", req)
-	if got := resp2.Header.Get("X-Cache"); got != "HIT" {
-		t.Fatalf("repeat X-Cache = %q, want HIT", got)
+	if got := resp2.Header.Get("X-Cache"); got != "hit-mem" {
+		t.Fatalf("repeat X-Cache = %q, want hit-mem", got)
 	}
 	if !bytes.Equal(b1, b2) {
 		t.Fatal("measurement not deterministic across requests")
@@ -335,8 +336,8 @@ func TestMeasureEndpoint(t *testing.T) {
 	if resp3.StatusCode != http.StatusOK {
 		t.Fatalf("type3 measure: %d", resp3.StatusCode)
 	}
-	if got := resp3.Header.Get("X-Cache"); got != "MISS" {
-		t.Fatalf("type3 X-Cache = %q, want MISS", got)
+	if got := resp3.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("type3 X-Cache = %q, want miss", got)
 	}
 }
 
@@ -424,8 +425,8 @@ func TestConcurrentFloodSheds429AndKeepsCacheSound(t *testing.T) {
 					t.Fatalf("seed %d: repeat %d / bytes differ — cache corrupted",
 						o.seed, resp.StatusCode)
 				}
-				if got := resp.Header.Get("X-Cache"); got != "HIT" {
-					t.Fatalf("seed %d repeat X-Cache = %q, want HIT", o.seed, got)
+				if got := resp.Header.Get("X-Cache"); got != "hit-mem" {
+					t.Fatalf("seed %d repeat X-Cache = %q, want hit-mem", o.seed, got)
 				}
 			case http.StatusTooManyRequests:
 				if o.retry == "" {
@@ -526,7 +527,7 @@ func TestRetryAfterTracksRunEWMA(t *testing.T) {
 
 	// Through the handler: a queue-full rejection must carry the
 	// EWMA-derived header, rounded up to whole seconds.
-	s := New(Config{})
+	s := MustNew(Config{})
 	s.metrics.observeSection("report", 2500*time.Millisecond)
 	rec := httptest.NewRecorder()
 	s.writeRunError(rec, errQueueFull)
@@ -535,5 +536,161 @@ func TestRetryAfterTracksRunEWMA(t *testing.T) {
 	}
 	if got := rec.Header().Get("Retry-After"); got != "3" {
 		t.Fatalf("Retry-After = %q, want \"3\" (ceil of the 2.5s EWMA)", got)
+	}
+}
+
+// TestDiskStoreHitSurvivesRestart: with a durable store configured, a
+// response computed by one server process is served by a fresh process
+// over the same directory as X-Cache: hit-disk — without re-running any
+// jobs — and promoted into memory so the next request is hit-mem.
+func TestDiskStoreHitSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	body := fmt.Sprintf(`{"reps":%d,"seed":11}`, testReps)
+
+	_, ts1 := newTestServer(t, Config{StoreDir: dir})
+	resp1, b1 := post(t, ts1.URL+"/v1/sections/fig3", body)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first run: %d %s", resp1.StatusCode, b1)
+	}
+	if got := resp1.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("first X-Cache = %q, want miss", got)
+	}
+	ts1.Close()
+
+	// "Restart": a brand-new server over the same store directory. Its
+	// memory cache is empty, so only the durable tier can satisfy this.
+	s2, ts2 := newTestServer(t, Config{StoreDir: dir})
+	resp2, b2 := post(t, ts2.URL+"/v1/sections/fig3", body)
+	if got := resp2.Header.Get("X-Cache"); got != "hit-disk" {
+		t.Fatalf("post-restart X-Cache = %q, want hit-disk", got)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("disk-served bytes differ from the original render")
+	}
+	cs := s2.cacheSnapshot()
+	if cs.DiskHits != 1 {
+		t.Fatalf("disk hit not counted: %+v", cs)
+	}
+	// No simulation ran in the new process.
+	s2.metrics.mu.Lock()
+	jobs := s2.metrics.jobsRun
+	s2.metrics.mu.Unlock()
+	if jobs != 0 {
+		t.Fatalf("restarted server ran %d jobs for a stored response", jobs)
+	}
+
+	// The disk hit was promoted: the next request hits memory.
+	resp3, b3 := post(t, ts2.URL+"/v1/sections/fig3", body)
+	if got := resp3.Header.Get("X-Cache"); got != "hit-mem" {
+		t.Fatalf("promoted X-Cache = %q, want hit-mem", got)
+	}
+	if !bytes.Equal(b1, b3) {
+		t.Fatal("memory-promoted bytes differ")
+	}
+}
+
+// TestDiskStoreMetricsExposed: /metrics and /healthz carry the disk-tier
+// counters once a store is configured.
+func TestDiskStoreMetricsExposed(t *testing.T) {
+	_, ts := newTestServer(t, Config{StoreDir: t.TempDir()})
+	post(t, ts.URL+"/v1/sections/table3", fmt.Sprintf(`{"reps":%d}`, testReps))
+	_, body := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"cxlsimd_store_hits_total 0",
+		"cxlsimd_store_misses_total 1",
+		"cxlsimd_store_puts_total 1",
+		"cxlsimd_store_evictions_total 0",
+		"cxlsimd_store_entries 1",
+		"cxlsimd_flight_waiters 0",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	_, hz := get(t, ts.URL+"/healthz")
+	var resp healthzResponse
+	if err := json.Unmarshal(hz, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cache.DiskPuts != 1 || resp.Cache.DiskEntries != 1 {
+		t.Fatalf("healthz disk stats: %+v", resp.Cache)
+	}
+}
+
+// TestVersionEndpoint: GET /v1/version reports the cache-key schema and
+// dist protocol token, with the serving mode.
+func TestVersionEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := get(t, ts.URL+"/v1/version")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("version: %d %s", resp.StatusCode, body)
+	}
+	var v struct {
+		CacheKeyVersion string `json:"cache_key_version"`
+		DistProtocol    string `json:"dist_protocol"`
+		Mode            string `json:"mode"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.CacheKeyVersion != "v1" || v.DistProtocol == "" || v.Mode != "standalone" {
+		t.Fatalf("version = %+v", v)
+	}
+}
+
+// TestCoordinatorModeServesIdenticalBytes: a server in coordinator mode
+// with two registered dist workers serves the same bytes a standalone
+// server computes in-process — the distribution seam is invisible in the
+// cache contract.
+func TestCoordinatorModeServesIdenticalBytes(t *testing.T) {
+	startWorker := func() string {
+		w := dist.NewWorker(dist.WorkerConfig{Workers: 1, MaxConcurrent: 4})
+		ws := httptest.NewServer(w.Handler())
+		t.Cleanup(ws.Close)
+		return strings.TrimPrefix(ws.URL, "http://")
+	}
+	coord := dist.NewCoordinator(dist.CoordinatorConfig{Workers: 1, StaleAfter: time.Hour})
+	_, ts := newTestServer(t, Config{Coordinator: coord})
+	for _, addr := range []string{startWorker(), startWorker()} {
+		body, _ := json.Marshal(map[string]string{"addr": addr, "version": dist.ProtocolVersion()})
+		resp, err := http.Post(ts.URL+"/dist/v1/register", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("register: %d", resp.StatusCode)
+		}
+	}
+
+	_, tsLocal := newTestServer(t, Config{})
+	req := fmt.Sprintf(`{"reps":%d,"seed":9}`, testReps)
+	respD, bD := post(t, ts.URL+"/v1/sections/fig3", req)
+	respL, bL := post(t, tsLocal.URL+"/v1/sections/fig3", req)
+	if respD.StatusCode != http.StatusOK || respL.StatusCode != http.StatusOK {
+		t.Fatalf("statuses %d/%d", respD.StatusCode, respL.StatusCode)
+	}
+	if !bytes.Equal(bD, bL) {
+		t.Fatal("coordinator-mode bytes differ from standalone")
+	}
+	if m := coord.Snapshot(); m.RemoteJobs == 0 {
+		t.Fatalf("no jobs ran remotely: %+v", m)
+	}
+
+	// The fleet listing answers on the service mux, and /metrics carries
+	// the dist gauges.
+	_, workers := get(t, ts.URL+"/dist/v1/workers")
+	if !strings.Contains(string(workers), `"live":true`) {
+		t.Fatalf("workers listing: %s", workers)
+	}
+	_, metrics := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"cxlsimd_dist_workers_live 2",
+		"cxlsimd_dist_remote_jobs_total",
+		"cxlsimd_dist_local_fallbacks_total 0",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q", want)
+		}
 	}
 }

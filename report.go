@@ -44,17 +44,18 @@ func WriteReport(w io.Writer, reps int, full bool) error {
 	return err
 }
 
-// WriteReportOpts runs the report's experiments as self-contained jobs on
-// one shared worker pool and renders the comparison table. It returns the
-// per-job results for stats reporting (wall clock, event rate). Rendering
-// happens after all jobs complete, in job order, so output bytes do not
-// depend on the worker count.
-func WriteReportOpts(w io.Writer, o ReportOptions) ([]runner.Result, error) {
-	type group struct {
-		name string
-		jobs []runner.Job
-	}
-	groups := []group{
+// reportGroup is one named slice of the report's job list. The
+// enumeration is a pure function of the options, so any process holding
+// the same binary derives the identical list — the property the
+// distributed coordinator relies on to ship the report's execution to
+// worker processes by description rather than by value.
+type reportGroup struct {
+	name string
+	jobs []runner.Job
+}
+
+func reportGroups(o ReportOptions) []reportGroup {
+	groups := []reportGroup{
 		{"fig3", experiments.Fig3Jobs(experiments.Fig3Config{Reps: o.Reps})},
 		{"fig4", experiments.Fig4Jobs(experiments.Fig4Config{Reps: o.Reps})},
 		{"fig5", experiments.Fig5Jobs(experiments.Fig5Config{Reps: o.Reps})},
@@ -64,15 +65,30 @@ func WriteReportOpts(w io.Writer, o ReportOptions) ([]runner.Result, error) {
 	if o.Full {
 		cfg := experiments.Fig8Config{}
 		groups = append(groups,
-			group{"fig8zswap", experiments.Fig8Jobs("zswap", []ycsb.Workload{ycsb.A}, cfg)},
-			group{"fig8ksm", experiments.Fig8Jobs("ksm", []ycsb.Workload{ycsb.A}, cfg)},
+			reportGroup{"fig8zswap", experiments.Fig8Jobs("zswap", []ycsb.Workload{ycsb.A}, cfg)},
+			reportGroup{"fig8ksm", experiments.Fig8Jobs("ksm", []ycsb.Workload{ycsb.A}, cfg)},
 		)
 	}
+	return groups
+}
+
+// ReportJobs enumerates the report's experiment jobs in render order.
+// Only Reps and Full shape the list; execution knobs (workers, seed,
+// context) do not.
+func ReportJobs(o ReportOptions) []runner.Job {
 	var jobs []runner.Job
-	for _, g := range groups {
+	for _, g := range reportGroups(o) {
 		jobs = append(jobs, g.jobs...)
 	}
-	results := runner.Run(jobs, runner.Options{Workers: o.Workers, RootSeed: o.RootSeed, Context: o.Context})
+	return jobs
+}
+
+// RenderReport renders the comparison table from a finished run of
+// ReportJobs(o): results[i] must describe job i of that enumeration. It
+// fails without writing when any job failed, so a partial run never
+// masquerades as a report.
+func RenderReport(w io.Writer, o ReportOptions, results []runner.Result) error {
+	groups := reportGroups(o)
 	by := make(map[string][]runner.Result, len(groups))
 	off := 0
 	for _, g := range groups {
@@ -80,7 +96,7 @@ func WriteReportOpts(w io.Writer, o ReportOptions) ([]runner.Result, error) {
 		off += len(g.jobs)
 	}
 	if _, err := runner.Values(results); err != nil {
-		return results, err
+		return err
 	}
 
 	r := &reporter{w: w}
@@ -96,7 +112,18 @@ func WriteReportOpts(w io.Writer, o ReportOptions) ([]runner.Result, error) {
 	if o.Full {
 		r.fig8(experiments.Fig8Collect(by["fig8zswap"]), experiments.Fig8Collect(by["fig8ksm"]))
 	}
-	return results, r.err
+	return r.err
+}
+
+// WriteReportOpts runs the report's experiments as self-contained jobs on
+// one shared worker pool and renders the comparison table. It returns the
+// per-job results for stats reporting (wall clock, event rate). Rendering
+// happens after all jobs complete, in job order, so output bytes do not
+// depend on the worker count.
+func WriteReportOpts(w io.Writer, o ReportOptions) ([]runner.Result, error) {
+	results := runner.Run(ReportJobs(o),
+		runner.Options{Workers: o.Workers, RootSeed: o.RootSeed, Context: o.Context})
+	return results, RenderReport(w, o, results)
 }
 
 // collect concatenates the per-job []T fragments in job order.
